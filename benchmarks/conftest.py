@@ -1,0 +1,24 @@
+"""Benchmark configuration.
+
+Every paper figure/table has a benchmark that regenerates it and prints the
+series.  Default sizes are scaled down so the whole suite runs in a couple
+of minutes; set ``REPRO_FULL=1`` to run the paper-size versions (20 KiB
+image, 15x15 grids, 3 seeds) — expect many minutes.
+"""
+
+import os
+
+import pytest
+
+FULL = os.environ.get("REPRO_FULL", "") == "1"
+
+
+@pytest.fixture(scope="session")
+def full_scale():
+    return FULL
+
+
+def emit(result) -> None:
+    """Print a regenerated figure/table below the benchmark output."""
+    print()
+    print(result.report())

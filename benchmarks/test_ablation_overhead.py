@@ -1,0 +1,28 @@
+"""Reception-overhead ablation: declared k' of k (MDS) vs k+2 vs k+6.
+
+Our Reed-Solomon code is genuinely MDS (any k packets decode); the paper
+assumes a Tornado-style code needing k' > k.  This ablation quantifies what
+that assumption costs.
+"""
+
+from conftest import FULL, emit
+
+from repro.experiments.ablations import ablate_overhead
+
+
+def test_overhead_ablation(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablate_overhead(
+            p=0.2,
+            receivers=20 if FULL else 10,
+            image_size=20 * 1024 if FULL else 8 * 1024,
+            kprimes=(32, 34, 38),
+            seeds=(1, 2) if FULL else (1,),
+        ),
+        rounds=1, iterations=1,
+    )
+    emit(result)
+    by_kprime = {row[0]: row for row in result.rows}
+    # More declared overhead means more required receptions: data cost is
+    # non-decreasing in k' (allowing small simulation noise).
+    assert by_kprime[32][1] <= by_kprime[38][1] * 1.02

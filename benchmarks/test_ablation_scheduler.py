@@ -1,0 +1,28 @@
+"""E10: greedy round-robin tracking table vs Deluge-style union policy.
+
+The scheduler is LR-Seluge's transport contribution; this ablation holds
+everything else fixed and swaps only the TX policy.
+"""
+
+from conftest import FULL, emit
+
+from repro.experiments.ablations import ablate_scheduler
+
+
+def test_scheduler_ablation(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablate_scheduler(
+            p=0.2,
+            receivers=20 if FULL else 10,
+            image_size=20 * 1024 if FULL else 8 * 1024,
+            seeds=(1, 2, 3) if FULL else (1, 2),
+        ),
+        rounds=1, iterations=1,
+    )
+    emit(result)
+    rows = {row[0]: row for row in result.rows}
+    tracking_data = rows["tracking"][1]
+    union_data = rows["union"][1]
+    print(f"\ndata packets: tracking={tracking_data} union={union_data}")
+    # The tracking table should send no more data than the union rule.
+    assert tracking_data <= union_data * 1.05

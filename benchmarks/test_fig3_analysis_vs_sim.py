@@ -1,0 +1,73 @@
+"""Fig. 3 (E1/E2/E11): analytical vs simulated per-page data transmissions.
+
+Checks the paper's three claims: the Seluge simulation tracks the Seluge
+analysis, the ACK-based LR-Seluge analysis upper-bounds the LR simulation,
+and the analytical cost jumps sharply between p = 0.3 and p = 0.4 (the
+round-regime shift of Section VI-A).
+"""
+
+from conftest import FULL, emit
+
+from repro.analysis.onehop import ack_lr_expected_tx, ack_lr_round_distribution
+from repro.experiments import figures
+
+_SIZES = dict(
+    loss_rates=(0.1, 0.2, 0.3, 0.4),
+    receivers=20 if FULL else 10,
+    image_size=20 * 1024 if FULL else 6 * 1024,
+    seeds=(1, 2, 3) if FULL else (1,),
+)
+
+
+def test_fig3a_loss_sweep(benchmark):
+    result = benchmark.pedantic(
+        lambda: figures.fig3a(**_SIZES), rounds=1, iterations=1
+    )
+    emit(result)
+    sel_analysis = result.column("seluge_analysis")
+    sel_sim = result.column("seluge_sim")
+    lr_analysis = result.column("ack_lr_analysis")
+    lr_sim = result.column("lr_sim")
+    # Simulated Seluge tracks the analysis within a factor.
+    for a, s in zip(sel_analysis, sel_sim):
+        assert 0.5 * a < s < 2.0 * a
+    # ACK-based analysis upper-bounds (or closely brackets) the LR sim.
+    for a, s in zip(lr_analysis, lr_sim):
+        assert s < 1.25 * a
+    # LR beats Seluge at every lossy point.
+    for lr, sel in zip(lr_sim, sel_sim):
+        assert lr < sel
+
+
+def test_fig3b_receiver_sweep(benchmark):
+    kwargs = dict(_SIZES)
+    kwargs.pop("loss_rates")
+    kwargs.pop("receivers")
+    counts = (5, 10, 20, 40) if FULL else (3, 6, 12)
+    result = benchmark.pedantic(
+        lambda: figures.fig3b(receiver_counts=counts, p=0.2, **kwargs),
+        rounds=1, iterations=1,
+    )
+    emit(result)
+    sel = result.column("seluge_analysis")
+    lr = result.column("ack_lr_analysis")
+    # Seluge grows faster in N than LR (relative growth comparison).
+    assert sel[-1] / sel[0] > lr[-1] / lr[0]
+
+
+def test_round_regime_shift(benchmark):
+    """E11: the ACK-based model's cost jumps between p=0.3 and p=0.4."""
+    def run():
+        return {p: ack_lr_expected_tx(1, 34, 48, 20, p, trials=200) for p in (0.2, 0.3, 0.4)}
+
+    costs = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nACK-based per-page cost: {costs}")
+    jump_34 = costs[0.4] - costs[0.3]
+    jump_23 = costs[0.3] - costs[0.2]
+    assert costs[0.4] > costs[0.3] > costs[0.2]
+    dist3 = ack_lr_round_distribution(34, 48, 20, 0.3, trials=300)
+    dist4 = ack_lr_round_distribution(34, 48, 20, 0.4, trials=300)
+    mean3 = sum((i + 1) * v for i, v in enumerate(dist3))
+    mean4 = sum((i + 1) * v for i, v in enumerate(dist4))
+    print(f"mean rounds: p=0.3 -> {mean3:.2f}, p=0.4 -> {mean4:.2f}")
+    assert mean4 >= mean3

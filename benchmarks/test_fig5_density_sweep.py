@@ -1,0 +1,36 @@
+"""Fig. 5 (E4): the five metrics vs number of receivers N at p = 0.1.
+
+Shape assertions: Seluge's data cost grows clearly with N while LR-Seluge
+stays much flatter, and LR-Seluge's latency does not grow with N.
+"""
+
+from conftest import FULL, emit
+
+from repro.experiments import figures
+
+_COUNTS = (5, 10, 15, 20, 25, 30, 35, 40) if FULL else (4, 10, 20)
+
+
+def test_fig5_density_sweep(benchmark):
+    result = benchmark.pedantic(
+        lambda: figures.fig5(
+            receiver_counts=_COUNTS,
+            p=0.1,
+            image_size=20 * 1024 if FULL else 8 * 1024,
+            seeds=(1, 2, 3) if FULL else (1, 2),
+        ),
+        rounds=1, iterations=1,
+    )
+    emit(result)
+    sel_data = result.column("seluge_data_pkts")
+    lr_data = result.column("lr_data_pkts")
+    sel_growth = sel_data[-1] / sel_data[0]
+    lr_growth = lr_data[-1] / lr_data[0]
+    print(f"\ndata-packet growth from N={_COUNTS[0]} to N={_COUNTS[-1]}: "
+          f"seluge x{sel_growth:.2f}, lr-seluge x{lr_growth:.2f}")
+    # Seluge grows with N; LR-Seluge is much less sensitive.
+    assert sel_growth > 1.1
+    assert lr_growth < sel_growth
+    # LR latency stays flat-to-decreasing with density (paper Fig. 5e).
+    lr_lat = result.column("lr_latency_s")
+    assert lr_lat[-1] < lr_lat[0] * 1.35

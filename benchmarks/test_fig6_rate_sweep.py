@@ -1,0 +1,37 @@
+"""Fig. 6 (E5): LR-Seluge's metrics vs the erasure-coding rate n/k (k = 32).
+
+Shape assertions: moving from minimal redundancy to a moderate rate cuts
+data and SNACK costs sharply; pushing the rate much higher brings costs
+back up slowly (hash images eat page capacity, so the image needs more
+pages).
+"""
+
+from conftest import FULL, emit
+
+from repro.experiments import figures
+
+_RATES = (34, 40, 48, 56, 64, 80) if FULL else (34, 48, 72)
+
+
+def test_fig6_rate_sweep(benchmark):
+    result = benchmark.pedantic(
+        lambda: figures.fig6(
+            rates_n=_RATES,
+            loss_rates=(0.1, 0.3) if FULL else (0.2,),
+            receivers=20 if FULL else 10,
+            image_size=20 * 1024 if FULL else 8 * 1024,
+            seeds=(1, 2, 3) if FULL else (1, 2),
+        ),
+        rounds=1, iterations=1,
+    )
+    emit(result)
+    # Within each loss rate: the minimal-redundancy point is the worst for
+    # SNACKs, and a moderate rate improves on it.
+    by_p = {}
+    for row in result.rows:
+        by_p.setdefault(row[0], []).append(row)
+    for p, rows in by_p.items():
+        snacks = [row[4] for row in rows]   # snack_pkts column
+        data = [row[3] for row in rows]     # data_pkts column
+        assert min(snacks) < snacks[0], f"redundancy should cut SNACKs at p={p}"
+        assert min(data) <= data[0], f"redundancy should not raise data cost at p={p}"

@@ -1,0 +1,136 @@
+"""Micro-benchmarks of the computational kernels.
+
+These are the operations a sensor node performs per packet/page; their cost
+drives the simulator's computation-overhead accounting and any real
+deployment's energy budget.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.scheduler import GreedyRoundRobinScheduler, TrackingTable
+from repro.crypto.ecdsa import generate_keypair, sign, verify
+from repro.crypto.hashing import hash_image
+from repro.crypto.merkle import MerkleTree, verify_merkle_path
+from repro.crypto.puzzle import MessageSpecificPuzzle
+from repro.erasure.gf256 import GF256
+from repro.erasure.rs import ReedSolomonCode
+
+
+@pytest.fixture(scope="module")
+def page_blocks():
+    rng = np.random.default_rng(1)
+    return [rng.integers(0, 256, 72, dtype=np.uint8).tobytes() for _ in range(32)]
+
+
+@pytest.fixture(scope="module")
+def rs_code():
+    return ReedSolomonCode(32, 48, 34)
+
+
+def test_rs_encode_page(benchmark, rs_code, page_blocks):
+    """Encode one 32-block page into 48 packets (sender-side per serve)."""
+    encoded = benchmark(rs_code.encode, page_blocks)
+    assert len(encoded) == 48
+
+
+def test_rs_decode_page_worst_case(benchmark, rs_code, page_blocks):
+    """Decode from the all-parity subset (no systematic shortcuts)."""
+    encoded = rs_code.encode(page_blocks)
+    received = {i: encoded[i] for i in range(16, 48)}
+    decoded = benchmark(rs_code.decode, received)
+    assert decoded == page_blocks
+
+
+def test_rs_decode_page_systematic(benchmark, rs_code, page_blocks):
+    encoded = rs_code.encode(page_blocks)
+    received = {i: encoded[i] for i in range(32)}
+    decoded = benchmark(rs_code.decode, received)
+    assert decoded == page_blocks
+
+
+def test_gf_matmul(benchmark):
+    rng = np.random.default_rng(2)
+    a = rng.integers(0, 256, size=(16, 32), dtype=np.uint8)
+    b = rng.integers(0, 256, size=(32, 72), dtype=np.uint8)
+    out = benchmark(GF256.matmul, a, b)
+    assert out.shape == (16, 72)
+
+
+def test_hash_image_per_packet(benchmark):
+    payload = bytes(range(83))
+    digest = benchmark(hash_image, payload)
+    assert len(digest) == 8
+
+
+def test_merkle_build(benchmark):
+    leaves = [bytes([i]) * 80 for i in range(8)]
+    tree = benchmark(MerkleTree, leaves)
+    assert tree.depth == 3
+
+
+def test_merkle_verify_path(benchmark):
+    leaves = [bytes([i]) * 80 for i in range(8)]
+    tree = MerkleTree(leaves)
+    path = tree.auth_path(3)
+    ok = benchmark(verify_merkle_path, leaves[3], 3, path, tree.root)
+    assert ok
+
+
+def test_ecdsa_sign(benchmark):
+    kp = generate_keypair(1)
+    sig = benchmark(sign, b"root||metadata", kp)
+    assert verify(b"root||metadata", sig, kp.public)
+
+
+def test_ecdsa_verify(benchmark):
+    kp = generate_keypair(1)
+    sig = sign(b"root||metadata", kp)
+    ok = benchmark(verify, b"root||metadata", sig, kp.public)
+    assert ok
+
+
+def test_puzzle_check(benchmark):
+    puzzle = MessageSpecificPuzzle(difficulty=10)
+    solution = puzzle.solve(b"sig", b"keykeyke")
+    ok = benchmark(puzzle.check, b"sig", solution)
+    assert ok
+
+
+def test_scheduler_drain_20_requesters(benchmark):
+    def run():
+        table = TrackingTable(48, 34)
+        for node in range(20):
+            table.update_from_snack(node, set(range(node % 5, 48, 1 + node % 3)))
+        return GreedyRoundRobinScheduler(table).drain()
+
+    order = benchmark(run)
+    assert order
+
+
+def test_tornado_encode_page(benchmark, page_blocks):
+    from repro.erasure.tornado import TornadoCode
+
+    code = TornadoCode(32, 48, seed=1)
+    encoded = benchmark(code.encode, page_blocks)
+    assert len(encoded) == 48
+
+
+def test_tornado_decode_page(benchmark, page_blocks):
+    from repro.erasure.tornado import TornadoCode
+
+    code = TornadoCode(32, 48, seed=1)
+    encoded = code.encode(page_blocks)
+    received = {i: encoded[i] for i in range(10, 48)}
+    decoded = benchmark(code.decode, received)
+    assert decoded == page_blocks
+
+
+def test_lt_decode_page(benchmark, page_blocks):
+    from repro.erasure.lt import LTCode
+
+    code = LTCode(32, 56, seed=1)
+    encoded = code.encode(page_blocks)
+    received = {i: encoded[i] for i in range(56)}
+    decoded = benchmark(code.decode, received)
+    assert decoded == page_blocks

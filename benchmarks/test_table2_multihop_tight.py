@@ -1,0 +1,32 @@
+"""Table II (E6): multi-hop dissemination over the high-density mica2 grid.
+
+Shape assertions: both protocols complete on the tight grid and LR-Seluge
+wins latency; with ambient (meyer-heavy-style) losses it is at parity or
+better on the byte total.
+"""
+
+from conftest import FULL, emit
+
+from repro.experiments import tables
+
+
+def test_table2_tight_grid(benchmark):
+    result = benchmark.pedantic(
+        lambda: tables.table2(
+            image_size=20 * 1024 if FULL else 6 * 1024,
+            seeds=(1, 2) if FULL else (1,),
+            rows=15 if FULL else 8,
+            cols=15 if FULL else 8,
+        ),
+        rounds=1, iterations=1,
+    )
+    emit(result)
+    rows = {row[0]: row for row in result.rows}
+    assert rows["seluge"][-1] == "yes"
+    assert rows["lr-seluge"][-1] == "yes"
+    sel_latency = rows["seluge"][5]
+    lr_latency = rows["lr-seluge"][5]
+    assert lr_latency < sel_latency * 1.05
+    sel_bytes = rows["seluge"][4]
+    lr_bytes = rows["lr-seluge"][4]
+    assert lr_bytes < sel_bytes * 1.15

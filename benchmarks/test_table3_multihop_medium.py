@@ -1,0 +1,31 @@
+"""Table III (E7): multi-hop dissemination over the low-density mica2 grid.
+
+The medium grid is sparser and lossier; both protocols must still complete.
+See EXPERIMENTS.md for the honest discussion of where our sparse-grid
+results deviate from the paper's (single-requester serving neutralises the
+erasure gain on raw data packets).
+"""
+
+from conftest import FULL, emit
+
+from repro.experiments import tables
+
+
+def test_table3_medium_grid(benchmark):
+    result = benchmark.pedantic(
+        lambda: tables.table3(
+            image_size=20 * 1024 if FULL else 6 * 1024,
+            seeds=(1, 2) if FULL else (1,),
+            rows=15 if FULL else 8,
+            cols=15 if FULL else 8,
+        ),
+        rounds=1, iterations=1,
+    )
+    emit(result)
+    rows = {row[0]: row for row in result.rows}
+    assert rows["seluge"][-1] == "yes"
+    assert rows["lr-seluge"][-1] == "yes"
+    # The sparse grid costs clearly more than the dense one per node served;
+    # sanity: both protocols stay within a small factor of each other.
+    sel_bytes, lr_bytes = rows["seluge"][4], rows["lr-seluge"][4]
+    assert lr_bytes < sel_bytes * 1.4

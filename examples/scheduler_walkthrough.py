@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Interactive walkthrough of the greedy round-robin TX scheduler (Table I).
+
+Recreates the paper's Section IV-D3 example style: a sender with a tracking
+table of three requesting neighbors, showing the bitmap, per-packet
+popularity, distances, and each scheduling decision until the table drains.
+
+Run:  python examples/scheduler_walkthrough.py
+"""
+
+from repro.core.scheduler import GreedyRoundRobinScheduler, TrackingTable
+
+N, KPRIME = 4, 3
+
+
+def show(table: TrackingTable) -> None:
+    header = "node | " + " ".join(f"P{j+1}" for j in range(table.n)) + " | d"
+    print(header)
+    print("-" * len(header))
+    for node_id in sorted(table.entries):
+        entry = table.entries[node_id]
+        bits = " ".join(" 1" if j in entry.wanted else " 0" for j in range(table.n))
+        print(f"v{node_id}   | {bits} | {entry.distance}")
+    pops = table.popularity_vector()
+    print("pop  | " + " ".join(f"{p:2d}" for p in pops))
+    print()
+
+
+def main() -> None:
+    print(__doc__)
+    table = TrackingTable(n_packets=N, threshold=KPRIME)
+    # Three SNACKs arrive (bit-vectors of still-needed packets).  With
+    # n=4, k'=3 the distance is d = q + k' - n = q - 1.
+    demands = {1: {1, 2}, 2: {1, 2, 3}, 3: {0, 1, 3}}
+    for node_id, wanted in demands.items():
+        table.update_from_snack(node_id, wanted)
+        print(f"SNACK from v{node_id}: needs packets "
+              f"{sorted(j + 1 for j in wanted)} -> distance "
+              f"{table.entries[node_id].distance}")
+    print()
+    show(table)
+
+    scheduler = GreedyRoundRobinScheduler(table)
+    step = 1
+    while not table.empty:
+        choice = scheduler.next_packet()
+        pops = table.popularity_vector()
+        print(f"step {step}: transmit P{choice + 1} "
+              f"(popularity {pops[choice]}, round-robin from previous pick)")
+        table.mark_sent(choice)
+        satisfied = set(demands) - set(table.entries)
+        if satisfied:
+            print(f"         satisfied so far: "
+                  f"{', '.join(f'v{v}' for v in sorted(satisfied))}")
+        show(table)
+        step += 1
+
+    print(f"Done in {step - 1} transmissions — the union rule (Deluge/Seluge "
+          f"semantics) would have transmitted "
+          f"{len(set().union(*demands.values()))} packets for the same demands.")
+
+
+if __name__ == "__main__":
+    main()

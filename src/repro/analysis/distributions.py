@@ -1,0 +1,61 @@
+"""Probability helpers used by the Section-V models."""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+
+from repro.errors import ConfigError
+
+__all__ = ["expected_max_geometric", "binomial_pmf", "binomial_tail_ge"]
+
+
+def expected_max_geometric(n_receivers: int, p: float, tol: float = 1e-12) -> float:
+    """E[max of ``n_receivers`` iid Geometric(1-p) variables] (support 1, 2, ...).
+
+    Each variable counts the transmissions until one receiver's first
+    success when every transmission is lost with probability ``p``.  Uses
+    ``E[max] = sum_{t>=0} (1 - (1 - p^t)^N)``.
+    """
+    if n_receivers < 1:
+        raise ConfigError(f"need at least one receiver, got {n_receivers}")
+    if not 0.0 <= p < 1.0:
+        raise ConfigError(f"loss probability {p} outside [0, 1)")
+    if p == 0.0:
+        return 1.0
+    total = 0.0
+    t = 0
+    while True:
+        term = 1.0 - (1.0 - p ** t) ** n_receivers
+        total += term
+        t += 1
+        if term < tol and t > 1:
+            break
+        if t > 100_000:  # pragma: no cover - numeric guard
+            break
+    return total
+
+
+@lru_cache(maxsize=200_000)
+def _log_comb(n: int, k: int) -> float:
+    return math.lgamma(n + 1) - math.lgamma(k + 1) - math.lgamma(n - k + 1)
+
+
+def binomial_pmf(k: int, n: int, q: float) -> float:
+    """P[Binomial(n, q) = k]."""
+    if k < 0 or k > n:
+        return 0.0
+    if q <= 0.0:
+        return 1.0 if k == 0 else 0.0
+    if q >= 1.0:
+        return 1.0 if k == n else 0.0
+    return math.exp(_log_comb(n, k) + k * math.log(q) + (n - k) * math.log(1.0 - q))
+
+
+def binomial_tail_ge(k: int, n: int, q: float) -> float:
+    """P[Binomial(n, q) >= k]."""
+    if k <= 0:
+        return 1.0
+    if k > n:
+        return 0.0
+    return sum(binomial_pmf(i, n, q) for i in range(k, n + 1))

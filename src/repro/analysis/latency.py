@@ -1,0 +1,122 @@
+"""Analytical one-hop latency model (extension of Section V).
+
+The paper analyses only data-packet *counts*; latency is left to
+simulation.  This model composes the transmission-count models with the
+protocol's timing constants to predict one-hop dissemination latency:
+
+    T ≈ T_signature + Σ_units [ T_request + D_unit · t_slot
+                                + (R_unit − 1) · t_round_gap ]
+
+where ``D_unit`` is the expected data transmissions for the unit (from the
+Section-V models), ``t_slot`` the per-packet air time plus TX gap,
+``R_unit`` the expected number of request rounds, and ``t_round_gap`` the
+re-request latency between rounds (timeout + aggregation).  The tests check
+the prediction lands within a small factor of the simulator across loss
+rates — good enough to dimension maintenance windows without running a
+simulation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.analysis.onehop import ack_lr_expected_tx, seluge_page_expected_tx
+from repro.core.config import LRSelugeParams, ProtocolTiming, SelugeParams
+from repro.net.radio import RadioConfig
+
+__all__ = ["estimate_seluge_latency", "estimate_lr_seluge_latency"]
+
+
+def _slot_seconds(radio: RadioConfig, frame_bytes: int, timing: ProtocolTiming) -> float:
+    return radio.airtime(frame_bytes) + timing.tx_gap
+
+
+def _unit_gap(timing: ProtocolTiming) -> float:
+    """Fixed inter-unit overhead: quiet window + advertisement discovery."""
+    return timing.data_quiet_window + timing.adv_i_min / 2.0
+
+
+def _seluge_rounds(p: float, k: int, n_receivers: int) -> float:
+    """Expected ARQ rounds per Seluge page.
+
+    Every round clears a (1-p) fraction of each receiver's missing set; the
+    last of ``k * N`` packet-receiver demands finishes after roughly
+    ``log_{1/p}(k N)`` rounds.
+    """
+    if p <= 0.0:
+        return 1.0
+    return max(1.0, math.log(max(k * n_receivers, 2)) / math.log(1.0 / p))
+
+
+def _lr_rounds(p: float) -> float:
+    """Expected request rounds per LR-Seluge page.
+
+    The n - k' redundancy absorbs most first-round losses, so only a short
+    retry tail remains.
+    """
+    return 1.0 + 2.0 * p / (1.0 - p)
+
+
+def estimate_seluge_latency(
+    params: SelugeParams,
+    p: float,
+    n_receivers: int,
+    radio: Optional[RadioConfig] = None,
+) -> float:
+    """Predicted one-hop dissemination latency for Seluge (seconds)."""
+    radio = radio or RadioConfig()
+    timing = params.timing
+    wire = params.wire
+    slot = _slot_seconds(radio, wire.data_packet_size(wire.data_payload), timing)
+    round_gap = timing.request_timeout + timing.tx_aggregation_delay
+    request_phase = timing.request_delay_max / 2.0 + timing.tx_aggregation_delay
+
+    total = radio.airtime(wire.signature_packet_size()) + request_phase
+    g = params.num_pages()
+    m0 = params.hash_page_packets()
+    rounds = _seluge_rounds(p, params.k, n_receivers)
+    gap = _unit_gap(timing)
+    # Hash page: m0 packets, all required.
+    total += request_phase + gap + m0 * _max_geom(n_receivers, p) * slot
+    total += (rounds - 1.0) * round_gap
+    # Code pages.
+    per_page = seluge_page_expected_tx(params.k, n_receivers, p)
+    total += g * (request_phase + gap + per_page * slot + (rounds - 1.0) * round_gap)
+    return total
+
+
+def estimate_lr_seluge_latency(
+    params: LRSelugeParams,
+    p: float,
+    n_receivers: int,
+    radio: Optional[RadioConfig] = None,
+) -> float:
+    """Predicted one-hop dissemination latency for LR-Seluge (seconds)."""
+    radio = radio or RadioConfig()
+    timing = params.timing
+    wire = params.wire
+    slot = _slot_seconds(radio, wire.data_packet_size(wire.data_payload), timing)
+    round_gap = timing.request_timeout + timing.tx_aggregation_delay
+    request_phase = timing.request_delay_max / 2.0 + timing.tx_aggregation_delay
+
+    total = radio.airtime(wire.signature_packet_size()) + request_phase
+    g = params.num_pages()
+    rounds = _lr_rounds(p)
+    gap = _unit_gap(timing)
+    # Page 0.
+    d0 = ack_lr_expected_tx(1, params.k0prime, params.n0, n_receivers, p, trials=120)
+    depth = int(math.log2(params.n0))
+    slot0 = _slot_seconds(radio, wire.data_packet_size(wire.data_payload, depth), timing)
+    total += request_phase + gap + d0 * slot0 + (rounds - 1.0) * round_gap
+    # Code pages.
+    per_page = ack_lr_expected_tx(1, params.resolved_kprime, params.n,
+                                  n_receivers, p, trials=120)
+    total += g * (request_phase + gap + per_page * slot + (rounds - 1.0) * round_gap)
+    return total
+
+
+def _max_geom(n_receivers: int, p: float) -> float:
+    from repro.analysis.distributions import expected_max_geometric
+
+    return expected_max_geometric(n_receivers, p)

@@ -1,0 +1,181 @@
+"""One-hop analytical models (paper Section V / Fig. 3).
+
+The paper analyses one local sender broadcasting to ``N`` receivers, each
+reception lost independently with probability ``p``.
+
+**Seluge** (Theorem-1 analogue).  A page has ``k`` packets and every
+receiver needs every one of them; with per-round retransmission of exactly
+the missing packets, the transmissions of one packet form the maximum of
+``N`` iid Geometric(1-p) variables:
+
+    E[D_seluge] = k * sum_{t>=0} (1 - (1 - p^t)^N).
+
+**ACK-based LR-Seluge** (Theorem-2 analogue, an upper bound on the real
+protocol).  Transmission proceeds in rounds.  At the start of each round
+the sender learns every receiver's deficit ``d_i`` (packets still needed to
+reach ``k'`` out of ``n``) and transmits ``m = max_i d_i`` *fresh* encoded
+packets while fresh packets remain — a fresh packet helps every unsatisfied
+receiver independently with probability ``1 - p`` — after which it falls
+back to per-packet retransmission of each receiver's specific missing
+packets (Seluge-like).  We evaluate the expectation exactly for ``N = 1``
+by dynamic programming and by seeded Monte-Carlo for ``N > 1``.
+"""
+
+from __future__ import annotations
+
+import random
+from functools import lru_cache
+from typing import List, Tuple
+
+from repro.analysis.distributions import (
+    binomial_pmf,
+    expected_max_geometric,
+)
+from repro.errors import ConfigError
+
+__all__ = [
+    "seluge_page_expected_tx",
+    "seluge_expected_tx",
+    "ack_lr_expected_tx",
+    "ack_lr_round_distribution",
+]
+
+
+def seluge_page_expected_tx(k: int, n_receivers: int, p: float) -> float:
+    """Expected data transmissions for one Seluge page of ``k`` packets."""
+    return k * expected_max_geometric(n_receivers, p)
+
+
+def seluge_expected_tx(pages: int, k: int, n_receivers: int, p: float) -> float:
+    """Expected data transmissions for a ``pages``-page Seluge image."""
+    if pages < 1:
+        raise ConfigError(f"need at least one page, got {pages}")
+    return pages * seluge_page_expected_tx(k, n_receivers, p)
+
+
+@lru_cache(maxsize=100_000)
+def _single_receiver_fresh_dp(deficit: int, fresh: int, p: float) -> float:
+    """Exact E[tx] for one receiver: ``deficit`` needed, ``fresh`` fresh left.
+
+    Round model: send ``m = min(deficit, fresh)`` fresh packets, the receiver
+    keeps Binomial(m, 1-p) of them; when fresh packets run out, each missing
+    packet must be retransmitted individually (Geometric(1-p) each).
+    """
+    if deficit <= 0:
+        return 0.0
+    if fresh <= 0:
+        # Retransmission regime: each of the remaining `deficit` packets
+        # independently needs Geometric(1-p) transmissions.
+        return deficit / (1.0 - p)
+    m = min(deficit, fresh)
+    expected = float(m)
+    q = 1.0 - p
+    for received in range(m + 1):
+        prob = binomial_pmf(received, m, q)
+        if prob > 0.0:
+            expected += prob * _single_receiver_fresh_dp(deficit - received, fresh - m, p)
+    return expected
+
+
+def ack_lr_expected_tx(
+    pages: int,
+    kprime: int,
+    n: int,
+    n_receivers: int,
+    p: float,
+    trials: int = 400,
+    seed: int = 12345,
+) -> float:
+    """Expected data transmissions for an ACK-based LR-Seluge image.
+
+    Exact DP when ``n_receivers == 1``; deterministic-seed Monte-Carlo over
+    the round model otherwise.
+    """
+    if not 0.0 <= p < 1.0:
+        raise ConfigError(f"loss probability {p} outside [0, 1)")
+    if kprime > n:
+        raise ConfigError(f"k' ({kprime}) cannot exceed n ({n})")
+    if n_receivers == 1:
+        per_page = _single_receiver_fresh_dp(kprime, n, p)
+        return pages * per_page
+    rng = random.Random(seed)
+    total = 0.0
+    for _ in range(trials):
+        total += _simulate_ack_rounds(pages, kprime, n, n_receivers, p, rng)[0]
+    return total / trials
+
+
+def ack_lr_round_distribution(
+    kprime: int,
+    n: int,
+    n_receivers: int,
+    p: float,
+    trials: int = 2000,
+    seed: int = 999,
+) -> List[float]:
+    """Empirical distribution of the number of rounds one page takes.
+
+    Returns probabilities for 1, 2, 3, ... rounds (the paper highlights the
+    1-round/2-round regime shift between p = 0.3 and p = 0.4).
+    """
+    rng = random.Random(seed)
+    counts: dict = {}
+    for _ in range(trials):
+        _, rounds = _simulate_ack_rounds(1, kprime, n, n_receivers, p, rng)
+        counts[rounds] = counts.get(rounds, 0) + 1
+    top = max(counts)
+    return [counts.get(r, 0) / trials for r in range(1, top + 1)]
+
+
+def _simulate_ack_rounds(
+    pages: int,
+    kprime: int,
+    n: int,
+    n_receivers: int,
+    p: float,
+    rng: random.Random,
+) -> Tuple[int, int]:
+    """One Monte-Carlo realization; returns (transmissions, rounds of last page).
+
+    Exact per-index bookkeeping: while fresh (never-sent) encoded packets
+    remain, each round transmits ``max_i d_i`` of them; afterwards each
+    round transmits the union of the receivers' missing indices.
+    """
+    q = 1.0 - p
+    total_tx = 0
+    rounds_last = 0
+    for _ in range(pages):
+        deficits = [kprime] * n_receivers
+        missing: List[set] = [set() for _ in range(n_receivers)]
+        next_fresh = 0
+        rounds = 0
+        while any(d > 0 for d in deficits):
+            rounds += 1
+            if next_fresh < n:
+                m = min(max(deficits), n - next_fresh)
+                batch = range(next_fresh, next_fresh + m)
+                next_fresh += m
+                total_tx += m
+                for i in range(n_receivers):
+                    if deficits[i] <= 0:
+                        continue
+                    for j in batch:
+                        if rng.random() < q:
+                            if deficits[i] > 0:
+                                deficits[i] -= 1
+                        else:
+                            missing[i].add(j)
+            else:
+                union = set()
+                for i in range(n_receivers):
+                    if deficits[i] > 0:
+                        union |= missing[i]
+                total_tx += len(union)
+                for j in union:
+                    for i in range(n_receivers):
+                        if deficits[i] > 0 and j in missing[i]:
+                            if rng.random() < q:
+                                missing[i].discard(j)
+                                deficits[i] -= 1
+        rounds_last = rounds
+    return total_tx, rounds_last

@@ -1,0 +1,53 @@
+"""Core LR-Seluge machinery (the paper's primary contribution).
+
+* :mod:`repro.core.config` — all protocol parameters with validation.
+* :mod:`repro.core.image` — code images and page partitioning.
+* :mod:`repro.core.packets` — wire-level packet records and size accounting.
+* :mod:`repro.core.preprocess` — base-station pipelines: reverse-order chained
+  erasure encoding, hash page, Merkle tree, signature (Section IV-C) for
+  LR-Seluge, plus the Seluge and Deluge equivalents for the baselines.
+* :mod:`repro.core.verify` — receiver-side immediate packet authentication
+  (Section IV-E).
+* :mod:`repro.core.scheduler` — tracking table + greedy round-robin TX
+  scheduling (Section IV-D3).
+"""
+
+from repro.core.config import (
+    DelugeParams,
+    ImageConfig,
+    LRSelugeParams,
+    ProtocolTiming,
+    SelugeParams,
+    WireFormat,
+)
+from repro.core.image import CodeImage
+from repro.core.packets import Advertisement, DataPacket, SignaturePacket, SnackRequest
+from repro.core.preprocess import (
+    DelugePreprocessor,
+    LRSelugePreprocessor,
+    PreprocessedImage,
+    SelugePreprocessor,
+    UnitSpec,
+)
+from repro.core.scheduler import GreedyRoundRobinScheduler, TrackingTable
+
+__all__ = [
+    "ImageConfig",
+    "WireFormat",
+    "ProtocolTiming",
+    "DelugeParams",
+    "SelugeParams",
+    "LRSelugeParams",
+    "CodeImage",
+    "DataPacket",
+    "SnackRequest",
+    "Advertisement",
+    "SignaturePacket",
+    "UnitSpec",
+    "PreprocessedImage",
+    "DelugePreprocessor",
+    "SelugePreprocessor",
+    "LRSelugePreprocessor",
+    "TrackingTable",
+    "GreedyRoundRobinScheduler",
+]

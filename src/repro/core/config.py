@@ -1,0 +1,272 @@
+"""Configuration objects for images, wire formats, and the three protocols.
+
+Defaults mirror Section VI of the paper where stated (20 KiB image, pages of
+``k = 32`` blocks, default erasure rate 1.5, ``N = 20`` one-hop receivers,
+``p = 0.1``) and mica2-era packet dimensions elsewhere.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "ImageConfig",
+    "WireFormat",
+    "ProtocolTiming",
+    "DelugeParams",
+    "SelugeParams",
+    "LRSelugeParams",
+    "next_power_of_two",
+]
+
+
+def next_power_of_two(x: int) -> int:
+    """Smallest power of two >= x (x >= 1)."""
+    if x < 1:
+        raise ConfigError(f"need a positive value, got {x}")
+    return 1 << (x - 1).bit_length()
+
+
+@dataclass(frozen=True)
+class ImageConfig:
+    """The code image being disseminated."""
+
+    image_size: int = 20 * 1024
+    version: int = 2
+
+    def __post_init__(self) -> None:
+        if self.image_size < 1:
+            raise ConfigError(f"image size must be positive, got {self.image_size}")
+
+
+@dataclass(frozen=True)
+class WireFormat:
+    """On-air byte accounting shared by all protocols.
+
+    ``data_payload`` is the number of payload bytes a data packet carries
+    (image slice plus, for Seluge, the embedded chained hash; for LR-Seluge,
+    one encoded block).  ``header`` covers version/page/index/addressing/CRC.
+    """
+
+    header: int = 11
+    data_payload: int = 72
+    hash_len: int = 8
+    mac_len: int = 4
+    adv_body: int = 5
+    signature_len: int = 48       # ECDSA P-192 (r, s)
+    puzzle_len: int = 12          # released key (8) + solution (4)
+    metadata_len: int = 13        # version, total units, image size, flags
+
+    def __post_init__(self) -> None:
+        if self.data_payload <= self.hash_len:
+            raise ConfigError("data payload must exceed the hash length")
+        if not 4 <= self.hash_len <= 32:
+            raise ConfigError(f"hash length {self.hash_len} outside [4, 32]")
+
+    # -- frame sizes ---------------------------------------------------------
+
+    def data_packet_size(self, payload_len: int, auth_path_hashes: int = 0) -> int:
+        """Size of a data frame carrying ``payload_len`` payload bytes."""
+        return self.header + payload_len + auth_path_hashes * self.hash_len
+
+    def snack_size(self, n_packets: int) -> int:
+        """SNACK frames carry an ``n_packets``-bit vector plus a MAC."""
+        return self.header + self.mac_len + math.ceil(n_packets / 8)
+
+    def adv_size(self) -> int:
+        return self.header + self.adv_body + self.mac_len
+
+    def signature_packet_size(self) -> int:
+        return (
+            self.header
+            + self.hash_len          # Merkle root
+            + self.metadata_len
+            + self.signature_len
+            + self.puzzle_len
+        )
+
+
+@dataclass(frozen=True)
+class ProtocolTiming:
+    """Timers driving the MAINTAIN / RX / TX machinery."""
+
+    adv_i_min: float = 2.0            # Trickle minimum interval (s)
+    adv_i_max: float = 64.0           # Trickle maximum interval (s)
+    adv_redundancy: int = 1
+    request_delay_max: float = 0.25   # random delay before the first SNACK
+    request_timeout: float = 0.7      # patience before re-SNACK
+    request_max_tries: int = 12       # SNACKs per unit before backing off
+    suppression_window: float = 0.5   # overheard-SNACK suppression horizon
+    suppression_cap: int = 3          # max consecutive SNACK suppressions
+    data_quiet_window: float = 0.9    # hold next-page requests while earlier-page data flies
+    burst_active_gap: float = 0.2     # gap that marks an in-progress burst for our own page
+    data_suppression_cap: int = 50    # livelock guard on data-driven suppression
+    tx_aggregation_delay: float = 0.8 # collect SNACKs before serving
+    tx_gap: float = 0.01              # idle gap between served packets
+
+    def __post_init__(self) -> None:
+        if self.adv_i_min <= 0 or self.adv_i_max < self.adv_i_min:
+            raise ConfigError("need 0 < adv_i_min <= adv_i_max")
+        if self.request_timeout <= 0:
+            raise ConfigError("request_timeout must be positive")
+
+
+@dataclass(frozen=True)
+class DelugeParams:
+    """Deluge: pages of ``k`` packets, no security, request-all ARQ."""
+
+    k: int = 32
+    image: ImageConfig = field(default_factory=ImageConfig)
+    wire: WireFormat = field(default_factory=WireFormat)
+    timing: ProtocolTiming = field(default_factory=ProtocolTiming)
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ConfigError(f"k must be >= 1, got {self.k}")
+
+    @property
+    def page_capacity(self) -> int:
+        """Image bytes per page: every packet is pure image payload."""
+        return self.k * self.wire.data_payload
+
+    def num_pages(self) -> int:
+        return max(1, math.ceil(self.image.image_size / self.page_capacity))
+
+
+@dataclass(frozen=True)
+class SelugeParams:
+    """Seluge: Deluge plus hash chaining, hash page, Merkle tree, signature."""
+
+    k: int = 32
+    image: ImageConfig = field(default_factory=ImageConfig)
+    wire: WireFormat = field(default_factory=WireFormat)
+    timing: ProtocolTiming = field(default_factory=ProtocolTiming)
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ConfigError(f"k must be >= 1, got {self.k}")
+
+    @property
+    def chained_slice(self) -> int:
+        """Image bytes per packet on pages 1..g-1 (payload minus chained hash)."""
+        return self.wire.data_payload - self.wire.hash_len
+
+    def num_pages(self) -> int:
+        """Pages needed: the last page has no chained hashes, so it is larger."""
+        size = self.image.image_size
+        last_cap = self.k * self.wire.data_payload
+        chained_cap = self.k * self.chained_slice
+        if size <= last_cap:
+            return 1
+        return 1 + max(1, math.ceil((size - last_cap) / chained_cap))
+
+    def hash_page_packets(self) -> int:
+        """Packets in the hash page M0, padded to a power of two for the tree."""
+        m0_bytes = self.k * self.wire.hash_len
+        raw = max(1, math.ceil(m0_bytes / self.wire.data_payload))
+        return next_power_of_two(raw)
+
+
+@dataclass(frozen=True)
+class LRSelugeParams:
+    """LR-Seluge: fixed-rate erasure coding with chained encoded packets.
+
+    ``kprime`` defaults to ``k + 2`` — the paper assumes a (Tornado-style)
+    code needing ``k' > k`` packets; our Reed-Solomon decoder only needs
+    ``k``, so the surplus emulates that reception overhead.  Set
+    ``kprime = k`` to model a true MDS deployment (ablation E-overhead).
+    """
+
+    k: int = 32
+    n: int = 48
+    kprime: int = 0                 # 0 -> k + default_overhead (capped at n)
+    default_overhead: int = 2
+    code_kind: str = "rs"
+    code_seed: int = 0
+    k0prime_overhead: int = 1
+    n0_override: int = 0            # 0 -> derived
+    image: ImageConfig = field(default_factory=ImageConfig)
+    wire: WireFormat = field(default_factory=WireFormat)
+    timing: ProtocolTiming = field(default_factory=ProtocolTiming)
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ConfigError(f"k must be >= 1, got {self.k}")
+        if self.n < self.k:
+            raise ConfigError(f"n ({self.n}) must be >= k ({self.k})")
+        if self.n > 256:
+            raise ConfigError(f"n must be <= 256 for GF(256) codes, got {self.n}")
+        resolved = self.resolved_kprime
+        if not self.k <= resolved <= self.n:
+            raise ConfigError(
+                f"k' ({resolved}) must lie in [k={self.k}, n={self.n}]"
+            )
+        # The chained hashes must fit inside a page with room left for image.
+        if self.page_capacity < 1:
+            raise ConfigError(
+                f"page of k={self.k} blocks x {self.wire.data_payload} B cannot "
+                f"hold {self.n} chained hashes of {self.wire.hash_len} B"
+            )
+
+    @property
+    def resolved_kprime(self) -> int:
+        if self.kprime:
+            return self.kprime
+        return min(self.n, self.k + self.default_overhead)
+
+    @property
+    def rate(self) -> float:
+        return self.n / self.k
+
+    @property
+    def page_source_bytes(self) -> int:
+        """Source bytes per page before encoding (k blocks)."""
+        return self.k * self.wire.data_payload
+
+    @property
+    def page_capacity(self) -> int:
+        """Image bytes per page on pages 1..g-1 (source minus chained hashes)."""
+        return self.page_source_bytes - self.n * self.wire.hash_len
+
+    def num_pages(self) -> int:
+        """Pages needed; the last page carries no chained hashes."""
+        size = self.image.image_size
+        if size <= self.page_source_bytes:
+            return 1
+        return 1 + max(1, math.ceil((size - self.page_source_bytes) / self.page_capacity))
+
+    # -- page 0 (hash page) geometry ------------------------------------------
+
+    @property
+    def k0(self) -> int:
+        """Source blocks of page 0 (the n chained hashes of page 1's packets)."""
+        m0_bytes = self.n * self.wire.hash_len
+        return max(1, math.ceil(m0_bytes / self.wire.data_payload))
+
+    @property
+    def n0(self) -> int:
+        """Encoded blocks of page 0 — a power of two for the Merkle tree.
+
+        The smallest power of two that leaves at least one packet of slack
+        over ``k0``: page 0 is tiny and re-served often, so excess
+        redundancy there costs more than it saves.
+        """
+        if self.n0_override:
+            if self.n0_override & (self.n0_override - 1):
+                raise ConfigError(f"n0 must be a power of two, got {self.n0_override}")
+            if self.n0_override < self.k0:
+                raise ConfigError(f"n0 override {self.n0_override} < k0 {self.k0}")
+            return self.n0_override
+        return next_power_of_two(self.k0 + 1)
+
+    @property
+    def k0prime(self) -> int:
+        return min(self.n0, self.k0 + self.k0prime_overhead)
+
+    def with_rate(self, n: int) -> "LRSelugeParams":
+        """A copy with a different redundancy n (used by the Fig. 6 sweep)."""
+        return replace(self, n=n, kprime=0, n0_override=0)

@@ -1,0 +1,81 @@
+"""Code images and partitioning helpers."""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.errors import ConfigError
+
+__all__ = ["CodeImage", "partition", "split_blocks"]
+
+
+@dataclass(frozen=True)
+class CodeImage:
+    """A versioned firmware image to disseminate."""
+
+    data: bytes
+    version: int = 1
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+    def digest(self) -> bytes:
+        return hashlib.sha256(self.data).digest()
+
+    @classmethod
+    def synthetic(cls, size: int, version: int = 1, seed: int = 0) -> "CodeImage":
+        """Deterministic pseudo-random image of ``size`` bytes.
+
+        Stands in for a real firmware binary: incompressible, content-
+        addressable, reproducible across runs.
+        """
+        if size < 1:
+            raise ConfigError(f"image size must be positive, got {size}")
+        chunks: List[bytes] = []
+        counter = 0
+        remaining = size
+        while remaining > 0:
+            block = hashlib.sha256(f"image:{seed}:{version}:{counter}".encode()).digest()
+            chunks.append(block[:remaining])
+            remaining -= len(block[:remaining])
+            counter += 1
+        return cls(data=b"".join(chunks), version=version)
+
+
+def partition(data: bytes, capacities: Sequence[int]) -> List[bytes]:
+    """Split ``data`` into consecutive chunks of the given capacities.
+
+    The final chunk is zero-padded to its capacity; total capacity must be
+    at least ``len(data)``.
+    """
+    total = sum(capacities)
+    if total < len(data):
+        raise ConfigError(
+            f"capacities sum to {total} but the image is {len(data)} bytes"
+        )
+    out: List[bytes] = []
+    offset = 0
+    for cap in capacities:
+        chunk = data[offset : offset + cap]
+        if len(chunk) < cap:
+            chunk = chunk + b"\x00" * (cap - len(chunk))
+        out.append(chunk)
+        offset += cap
+    return out
+
+
+def split_blocks(data: bytes, block_size: int, count: int) -> List[bytes]:
+    """Split ``data`` into exactly ``count`` blocks of ``block_size`` bytes.
+
+    ``data`` is zero-padded up to ``count * block_size``.
+    """
+    needed = block_size * count
+    if len(data) > needed:
+        raise ConfigError(
+            f"data of {len(data)} bytes exceeds {count} x {block_size} blocks"
+        )
+    padded = data + b"\x00" * (needed - len(data))
+    return [padded[i * block_size : (i + 1) * block_size] for i in range(count)]

@@ -1,0 +1,89 @@
+"""Protocol wire packets.
+
+These are the payload objects carried inside :class:`repro.net.packet.Frame`.
+``DataPacket.canonical_bytes`` defines exactly what gets hashed for the
+chaining relationships — the base station (preprocessing) and the receivers
+(verification) must agree on it byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+__all__ = ["DataPacket", "SnackRequest", "Advertisement", "SignaturePacket"]
+
+_CANONICAL_HEADER = struct.Struct(">HHH")  # version, unit, index
+
+
+@dataclass(frozen=True)
+class DataPacket:
+    """One data packet of a unit (page), possibly with a Merkle auth path.
+
+    ``unit`` uses the uniform unit numbering: for the secure protocols unit 0
+    is the signature, unit 1 the hash page, units 2.. the code pages; Deluge
+    numbers its pages from 0 directly.
+    """
+
+    version: int
+    unit: int
+    index: int
+    payload: bytes
+    auth_path: Tuple[bytes, ...] = ()
+
+    def canonical_bytes(self) -> bytes:
+        """The bytes whose hash image chains this packet to the previous page.
+
+        The auth path is *excluded*: page-0 packets are authenticated through
+        the Merkle tree, not through chaining.
+        """
+        return _CANONICAL_HEADER.pack(self.version, self.unit, self.index) + self.payload
+
+
+@dataclass(frozen=True)
+class SnackRequest:
+    """Selective-NACK: the bit-vector of packet indices still needed.
+
+    ``mac`` carries the cluster/pairwise authentication tag when control
+    authentication is enabled (its bytes are always part of the wire size).
+    """
+
+    version: int
+    unit: int
+    requester: int
+    server: int
+    needed: Tuple[int, ...]          # sorted missing packet indices
+    mac: bytes = b""
+
+    @property
+    def ones(self) -> int:
+        return len(self.needed)
+
+
+@dataclass(frozen=True)
+class Advertisement:
+    """Periodic Trickle advertisement of dissemination progress."""
+
+    version: int
+    units_complete: int
+    total_units: int
+    mac: bytes = b""
+
+
+@dataclass(frozen=True)
+class SignaturePacket:
+    """The signed Merkle root plus image metadata and the weak authenticator.
+
+    ``metadata`` is the exact byte string that was signed together with the
+    root; ``puzzle`` is a :class:`repro.crypto.puzzle.PuzzleSolution`.
+    """
+
+    version: int
+    root: bytes
+    metadata: bytes
+    signature: bytes
+    puzzle: object = None
+
+    def signed_bytes(self) -> bytes:
+        return self.root + self.metadata

@@ -1,0 +1,387 @@
+"""Base-station preprocessing pipelines (paper Section IV-C).
+
+The output of preprocessing is a :class:`PreprocessedImage`: an ordered list
+of *units* the dissemination machinery treats uniformly.
+
+==========  ======================  =====================================
+unit index  Deluge                  Seluge / LR-Seluge
+==========  ======================  =====================================
+0           page 1                  signature packet (1 packet, need 1)
+1           page 2                  hash page M0 (Merkle-authenticated)
+2..         ...                     code pages M1..Mg
+==========  ======================  =====================================
+
+For LR-Seluge the pages are built in *reverse* order: page ``g`` is encoded
+first, its ``n`` packet hashes are appended to page ``g-1``'s payload before
+that page is encoded, and so on down to page 1, whose packet hashes form the
+hash page M0 (Fig. 1).  Seluge chains per-packet instead (the hash of packet
+``(i+1, j)`` is embedded in packet ``(i, j)``).  Deluge has no chaining.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import DelugeParams, LRSelugeParams, SelugeParams
+from repro.core.image import CodeImage, partition, split_blocks
+from repro.core.packets import DataPacket, SignaturePacket
+from repro.crypto.ecdsa import EcdsaKeyPair, sign
+from repro.crypto.hashing import hash_image
+from repro.crypto.merkle import MerkleTree
+from repro.crypto.puzzle import MessageSpecificPuzzle
+from repro.erasure.base import make_code
+from repro.errors import ConfigError
+
+__all__ = [
+    "UnitSpec",
+    "PreprocessedImage",
+    "DelugePreprocessor",
+    "SelugePreprocessor",
+    "LRSelugePreprocessor",
+    "pack_metadata",
+    "unpack_metadata",
+]
+
+_METADATA = struct.Struct(">HHIB")  # version, total_units, image_size, flags
+
+
+def pack_metadata(version: int, total_units: int, image_size: int, pad_to: int = 13) -> bytes:
+    """Serialize the signed image metadata, zero-padded to the wire length."""
+    raw = _METADATA.pack(version, total_units, image_size, 0)
+    if len(raw) > pad_to:
+        raise ConfigError(f"metadata of {len(raw)} bytes exceeds wire budget {pad_to}")
+    return raw + b"\x00" * (pad_to - len(raw))
+
+
+def unpack_metadata(raw: bytes) -> Tuple[int, int, int]:
+    """Return (version, total_units, image_size) from signed metadata bytes."""
+    version, total_units, image_size, _flags = _METADATA.unpack(raw[: _METADATA.size])
+    return version, total_units, image_size
+
+
+@dataclass
+class UnitSpec:
+    """One dissemination unit: what exists on air and when it is decodable.
+
+    ``n_packets`` distinct packets exist; a receiver holds the unit once it
+    has ``threshold`` *distinct authenticated* packets (for Deluge/Seluge
+    ``threshold == n_packets``: every packet is required).
+    """
+
+    index: int
+    kind: str                      # "signature" | "hash_page" | "page"
+    n_packets: int
+    threshold: int
+    packet_size: int               # on-air frame bytes of this unit's data packets
+    packets: List[DataPacket] = field(default_factory=list)
+    source_blocks: Optional[List[bytes]] = None   # pre-encoding blocks (coded units)
+
+
+@dataclass
+class PreprocessedImage:
+    """Everything the base station produces for one code image."""
+
+    protocol: str
+    image: CodeImage
+    units: List[UnitSpec]
+    signature_packet: Optional[SignaturePacket] = None
+    merkle_root: Optional[bytes] = None
+    metadata: bytes = b""
+
+    @property
+    def total_units(self) -> int:
+        return len(self.units)
+
+    def unit(self, index: int) -> UnitSpec:
+        return self.units[index]
+
+    def data_packet_count(self) -> int:
+        """Distinct data packets across all units (signature excluded)."""
+        return sum(u.n_packets for u in self.units if u.kind != "signature")
+
+
+# ---------------------------------------------------------------------------
+# Deluge
+# ---------------------------------------------------------------------------
+
+
+class DelugePreprocessor:
+    """Plain paging: no hashes, no signature, every packet required."""
+
+    def __init__(self, params: DelugeParams):
+        self.params = params
+
+    def build(self, image: CodeImage) -> PreprocessedImage:
+        p = self.params
+        if image.size != p.image.image_size:
+            raise ConfigError(
+                f"image is {image.size} bytes but params expect {p.image.image_size}"
+            )
+        g = p.num_pages()
+        slices = partition(image.data, [p.page_capacity] * g)
+        units: List[UnitSpec] = []
+        for i, page in enumerate(slices):
+            blocks = split_blocks(page, p.wire.data_payload, p.k)
+            packets = [
+                DataPacket(version=image.version, unit=i, index=j, payload=blocks[j])
+                for j in range(p.k)
+            ]
+            units.append(
+                UnitSpec(
+                    index=i,
+                    kind="page",
+                    n_packets=p.k,
+                    threshold=p.k,
+                    packet_size=p.wire.data_packet_size(p.wire.data_payload),
+                    packets=packets,
+                    source_blocks=blocks,
+                )
+            )
+        return PreprocessedImage(protocol="deluge", image=image, units=units)
+
+
+# ---------------------------------------------------------------------------
+# Seluge
+# ---------------------------------------------------------------------------
+
+
+class SelugePreprocessor:
+    """Per-packet hash chaining + Merkle-authenticated hash page + signature."""
+
+    def __init__(self, params: SelugeParams, keypair: EcdsaKeyPair,
+                 puzzle: Optional[MessageSpecificPuzzle] = None,
+                 puzzle_key: bytes = b"seluge-k"):
+        self.params = params
+        self.keypair = keypair
+        self.puzzle = puzzle or MessageSpecificPuzzle(difficulty=10)
+        self.puzzle_key = puzzle_key
+
+    def build(self, image: CodeImage) -> PreprocessedImage:
+        p = self.params
+        if image.size != p.image.image_size:
+            raise ConfigError(
+                f"image is {image.size} bytes but params expect {p.image.image_size}"
+            )
+        g = p.num_pages()
+        caps = [p.k * p.chained_slice] * (g - 1) + [p.k * p.wire.data_payload]
+        slices = partition(image.data, caps)
+        total_units = g + 2  # signature + hash page + g pages
+
+        # Build pages in reverse so each page can embed the next page's hashes.
+        page_units: List[UnitSpec] = []
+        next_hashes: Optional[List[bytes]] = None  # hashes of page i+1's packets
+        for i in range(g - 1, -1, -1):
+            unit_index = i + 2
+            if next_hashes is None:  # last page: pure image payload
+                blocks = split_blocks(slices[i], p.wire.data_payload, p.k)
+                payloads = blocks
+            else:
+                blocks = split_blocks(slices[i], p.chained_slice, p.k)
+                payloads = [blocks[j] + next_hashes[j] for j in range(p.k)]
+            packets = [
+                DataPacket(version=image.version, unit=unit_index, index=j, payload=payloads[j])
+                for j in range(p.k)
+            ]
+            page_units.append(
+                UnitSpec(
+                    index=unit_index,
+                    kind="page",
+                    n_packets=p.k,
+                    threshold=p.k,
+                    packet_size=p.wire.data_packet_size(p.wire.data_payload),
+                    packets=packets,
+                    source_blocks=payloads,
+                )
+            )
+            next_hashes = [
+                hash_image(pkt.canonical_bytes(), p.wire.hash_len) for pkt in packets
+            ]
+        page_units.reverse()
+        assert next_hashes is not None
+
+        # Hash page M0: the k hash images of page 1's packets, split into
+        # power-of-two many packets under a Merkle tree.
+        m0_bytes = b"".join(next_hashes)
+        m0_count = p.hash_page_packets()
+        m0_chunks = split_blocks(m0_bytes, p.wire.data_payload, m0_count)
+        m0_packets = [
+            DataPacket(version=image.version, unit=1, index=j, payload=m0_chunks[j])
+            for j in range(m0_count)
+        ]
+        tree = MerkleTree([pkt.canonical_bytes() for pkt in m0_packets], p.wire.hash_len)
+        m0_packets = [
+            DataPacket(
+                version=pkt.version,
+                unit=pkt.unit,
+                index=pkt.index,
+                payload=pkt.payload,
+                auth_path=tuple(tree.auth_path(pkt.index)),
+            )
+            for pkt in m0_packets
+        ]
+        hash_page_unit = UnitSpec(
+            index=1,
+            kind="hash_page",
+            n_packets=m0_count,
+            threshold=m0_count,
+            packet_size=p.wire.data_packet_size(p.wire.data_payload, tree.depth),
+            packets=m0_packets,
+        )
+
+        signature_unit, sig_packet = _build_signature_unit(
+            image, total_units, p.image.image_size, p.wire, tree.root,
+            self.keypair, self.puzzle, self.puzzle_key,
+        )
+        units = [signature_unit, hash_page_unit] + page_units
+        return PreprocessedImage(
+            protocol="seluge",
+            image=image,
+            units=units,
+            signature_packet=sig_packet,
+            merkle_root=tree.root,
+            metadata=sig_packet.metadata,
+        )
+
+
+# ---------------------------------------------------------------------------
+# LR-Seluge
+# ---------------------------------------------------------------------------
+
+
+class LRSelugePreprocessor:
+    """Fixed-rate erasure coding with page-level chained hash images (Fig. 1)."""
+
+    def __init__(self, params: LRSelugeParams, keypair: EcdsaKeyPair,
+                 puzzle: Optional[MessageSpecificPuzzle] = None,
+                 puzzle_key: bytes = b"lrselk-0"):
+        self.params = params
+        self.keypair = keypair
+        self.puzzle = puzzle or MessageSpecificPuzzle(difficulty=10)
+        self.puzzle_key = puzzle_key
+        self.code = make_code(
+            params.code_kind, params.k, params.n, params.resolved_kprime,
+            seed=params.code_seed,
+        )
+        self.code0 = make_code(
+            params.code_kind, params.k0, params.n0, params.k0prime,
+            seed=params.code_seed + 1,
+        )
+
+    def build(self, image: CodeImage) -> PreprocessedImage:
+        p = self.params
+        if image.size != p.image.image_size:
+            raise ConfigError(
+                f"image is {image.size} bytes but params expect {p.image.image_size}"
+            )
+        g = p.num_pages()
+        caps = [p.page_capacity] * (g - 1) + [p.page_source_bytes]
+        slices = partition(image.data, caps)
+        total_units = g + 2
+
+        page_units: List[UnitSpec] = []
+        next_hashes: Optional[List[bytes]] = None
+        for i in range(g - 1, -1, -1):
+            unit_index = i + 2
+            if next_hashes is None:
+                source = slices[i]
+            else:
+                source = slices[i] + b"".join(next_hashes)
+            blocks = split_blocks(source, p.wire.data_payload, p.k)
+            encoded = self.code.encode(blocks)
+            packets = [
+                DataPacket(version=image.version, unit=unit_index, index=j, payload=encoded[j])
+                for j in range(p.n)
+            ]
+            page_units.append(
+                UnitSpec(
+                    index=unit_index,
+                    kind="page",
+                    n_packets=p.n,
+                    threshold=p.resolved_kprime,
+                    packet_size=p.wire.data_packet_size(p.wire.data_payload),
+                    packets=packets,
+                    source_blocks=blocks,
+                )
+            )
+            next_hashes = [
+                hash_image(pkt.canonical_bytes(), p.wire.hash_len) for pkt in packets
+            ]
+        page_units.reverse()
+        assert next_hashes is not None
+
+        # Page 0: the n hash images of page 1's packets, erasure-coded with
+        # f0 and authenticated by a Merkle tree over the encoded packets.
+        m0_bytes = b"".join(next_hashes)
+        m0_blocks = split_blocks(m0_bytes, p.wire.data_payload, p.k0)
+        encoded0 = self.code0.encode(m0_blocks)
+        m0_packets = [
+            DataPacket(version=image.version, unit=1, index=j, payload=encoded0[j])
+            for j in range(p.n0)
+        ]
+        tree = MerkleTree([pkt.canonical_bytes() for pkt in m0_packets], p.wire.hash_len)
+        m0_packets = [
+            DataPacket(
+                version=pkt.version,
+                unit=pkt.unit,
+                index=pkt.index,
+                payload=pkt.payload,
+                auth_path=tuple(tree.auth_path(pkt.index)),
+            )
+            for pkt in m0_packets
+        ]
+        page0_unit = UnitSpec(
+            index=1,
+            kind="hash_page",
+            n_packets=p.n0,
+            threshold=p.k0prime,
+            packet_size=p.wire.data_packet_size(p.wire.data_payload, tree.depth),
+            packets=m0_packets,
+            source_blocks=m0_blocks,
+        )
+
+        signature_unit, sig_packet = _build_signature_unit(
+            image, total_units, p.image.image_size, p.wire, tree.root,
+            self.keypair, self.puzzle, self.puzzle_key,
+        )
+        units = [signature_unit, page0_unit] + page_units
+        return PreprocessedImage(
+            protocol="lr-seluge",
+            image=image,
+            units=units,
+            signature_packet=sig_packet,
+            merkle_root=tree.root,
+            metadata=sig_packet.metadata,
+        )
+
+
+def _build_signature_unit(
+    image: CodeImage,
+    total_units: int,
+    image_size: int,
+    wire,
+    root: bytes,
+    keypair: EcdsaKeyPair,
+    puzzle: MessageSpecificPuzzle,
+    puzzle_key: bytes,
+) -> Tuple[UnitSpec, SignaturePacket]:
+    """Sign root||metadata and wrap it as unit 0 with the weak authenticator."""
+    metadata = pack_metadata(image.version, total_units, image_size, wire.metadata_len)
+    signature = sign(root + metadata, keypair).to_bytes()
+    solution = puzzle.solve(root + metadata + signature, puzzle_key)
+    sig_packet = SignaturePacket(
+        version=image.version,
+        root=root,
+        metadata=metadata,
+        signature=signature,
+        puzzle=solution,
+    )
+    unit = UnitSpec(
+        index=0,
+        kind="signature",
+        n_packets=1,
+        threshold=1,
+        packet_size=wire.signature_packet_size(),
+    )
+    return unit, sig_packet

@@ -1,0 +1,238 @@
+"""TX-state scheduling: tracking table + greedy round-robin (Section IV-D3).
+
+A sender serving a page keeps one tracking entry per requesting neighbor:
+the bit-vector of packets that neighbor still wants and its *distance* — the
+number of additional packets it needs to decode the page,
+``d_v = q + k' - n`` where ``q`` is the number of requested packets.  The
+scheduler repeatedly transmits the packet wanted by the most neighbors
+(*popularity*), breaking ties round-robin (the first candidate to the right
+of the previously sent index, cyclically); after each transmission it clears
+that column and decrements the distance of every neighbor that wanted the
+packet, deleting entries whose distance reaches zero.  Transmission stops
+when the table empties — i.e. when, as far as the sender knows, every
+neighbor can decode.
+
+Deluge/Seluge semantics (request-all, union of bit-vectors) and the rateless
+always-send-fresh policy are provided for the baselines and the scheduler
+ablation (DESIGN.md E10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.errors import ProtocolError
+
+__all__ = [
+    "TrackingEntry",
+    "TrackingTable",
+    "GreedyRoundRobinScheduler",
+    "UnionScheduler",
+    "FreshPacketScheduler",
+]
+
+
+@dataclass
+class TrackingEntry:
+    """One neighbor's outstanding demand for the page being served."""
+
+    node_id: int
+    wanted: Set[int]
+    distance: int
+
+    def satisfied(self) -> bool:
+        return self.distance <= 0 or not self.wanted
+
+
+class TrackingTable:
+    """The per-page table a TX-state node maintains (paper Table I)."""
+
+    def __init__(self, n_packets: int, threshold: int):
+        if threshold > n_packets:
+            raise ProtocolError(
+                f"threshold {threshold} exceeds packet count {n_packets}"
+            )
+        self.n = n_packets
+        self.threshold = threshold
+        self.entries: Dict[int, TrackingEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def empty(self) -> bool:
+        return not self.entries
+
+    def update_from_snack(self, node_id: int, needed: Iterable[int]) -> None:
+        """Create or refresh the entry for ``node_id``.
+
+        ``needed`` is the set of packet indices from the SNACK bit-vector.
+        The distance is ``q + threshold - n`` (at most ``threshold`` more
+        packets are ever required), clamped to at least 1: a node only
+        requests when it genuinely cannot decode yet, which matters for
+        non-MDS codes (LT/Tornado) whose received symbols can be
+        rank-deficient even at ``k'`` receptions.
+        """
+        wanted = {i for i in needed if 0 <= i < self.n}
+        if not wanted:
+            self.entries.pop(node_id, None)
+            return
+        q = len(wanted)
+        distance = max(1, q + self.threshold - self.n)
+        self.entries[node_id] = TrackingEntry(node_id, wanted, distance)
+
+    def popularity(self, index: int) -> int:
+        """Number of tracked neighbors that want packet ``index``."""
+        return sum(1 for e in self.entries.values() if index in e.wanted)
+
+    def popularity_vector(self) -> List[int]:
+        counts = [0] * self.n
+        for entry in self.entries.values():
+            for idx in entry.wanted:
+                counts[idx] += 1
+        return counts
+
+    def mark_sent(self, index: int) -> None:
+        """Account for a transmission (ours or an overheard one).
+
+        Clears column ``index``, decrements the distance of every neighbor
+        that wanted it, and deletes satisfied entries.  If the packet was
+        lost at some neighbor, that neighbor's next SNACK reinstates it.
+        """
+        done: List[int] = []
+        for node_id, entry in self.entries.items():
+            if index in entry.wanted:
+                entry.wanted.discard(index)
+                entry.distance -= 1
+            if entry.satisfied():
+                done.append(node_id)
+        for node_id in done:
+            del self.entries[node_id]
+
+    def remove(self, node_id: int) -> None:
+        self.entries.pop(node_id, None)
+
+
+class GreedyRoundRobinScheduler:
+    """LR-Seluge's packet selection policy over a :class:`TrackingTable`."""
+
+    def __init__(self, table: TrackingTable):
+        self.table = table
+        self._last: Optional[int] = None
+
+    def reset_rotation(self) -> None:
+        self._last = None
+
+    def next_packet(self) -> Optional[int]:
+        """Choose the next packet index to transmit, or None when done.
+
+        Highest popularity wins; ties go to the lowest index for the first
+        transmission and to the first candidate to the right of the last
+        sent index (cyclically) afterwards.  The caller must follow up with
+        ``table.mark_sent(index)`` once the packet is actually transmitted.
+        """
+        counts = self.table.popularity_vector()
+        best = max(counts, default=0)
+        if best == 0:
+            return None
+        candidates = [i for i, c in enumerate(counts) if c == best]
+        if self._last is None:
+            choice = candidates[0]
+        else:
+            n = self.table.n
+            choice = min(candidates, key=lambda i: (i - self._last - 1) % n)
+        self._last = choice
+        return choice
+
+    def drain(self, lossless: bool = True) -> List[int]:
+        """Run the policy to completion, returning the transmission order.
+
+        With ``lossless=True`` every transmission is assumed received (the
+        paper's Table I walk-through); the table ends empty.
+        """
+        order: List[int] = []
+        while True:
+            choice = self.next_packet()
+            if choice is None:
+                break
+            order.append(choice)
+            if lossless:
+                self.table.mark_sent(choice)
+            if len(order) > self.table.n * (len(self.table.entries) + len(order) + 1):
+                raise ProtocolError("scheduler failed to make progress")
+        return order
+
+
+class UnionScheduler:
+    """Deluge/Seluge policy: transmit the union of requested indices.
+
+    Packets go out in index order, cyclically continuing after the last
+    transmitted index (Deluge's behaviour).  Lost packets are re-requested
+    in later SNACKs, which re-adds them to the pending set.
+    """
+
+    def __init__(self, n_packets: int):
+        self.n = n_packets
+        self.pending: Set[int] = set()
+        self._last: Optional[int] = None
+
+    @property
+    def empty(self) -> bool:
+        return not self.pending
+
+    def update_from_snack(self, needed: Iterable[int]) -> None:
+        for idx in needed:
+            if 0 <= idx < self.n:
+                self.pending.add(idx)
+
+    def mark_sent(self, index: int) -> None:
+        self.pending.discard(index)
+
+    def next_packet(self) -> Optional[int]:
+        if not self.pending:
+            return None
+        if self._last is None:
+            choice = min(self.pending)
+        else:
+            choice = min(self.pending, key=lambda i: (i - self._last - 1) % self.n)
+        self._last = choice
+        return choice
+
+
+class FreshPacketScheduler:
+    """Rateless policy: always transmit a never-sent-before encoded packet.
+
+    Tracks only how many packets each requester still needs; every
+    transmission is a fresh index (unbounded, as with rateless codes).
+    """
+
+    def __init__(self, start_index: int = 0):
+        self.next_index = start_index
+        self.deficits: Dict[int, int] = {}
+
+    @property
+    def empty(self) -> bool:
+        return not self.deficits
+
+    def update_request(self, node_id: int, deficit: int) -> None:
+        if deficit <= 0:
+            self.deficits.pop(node_id, None)
+        else:
+            self.deficits[node_id] = deficit
+
+    def next_packet(self) -> Optional[int]:
+        if not self.deficits:
+            return None
+        index = self.next_index
+        self.next_index += 1
+        return index
+
+    def mark_sent(self, index: int) -> None:
+        done = []
+        for node_id in self.deficits:
+            self.deficits[node_id] -= 1
+            if self.deficits[node_id] <= 0:
+                done.append(node_id)
+        for node_id in done:
+            del self.deficits[node_id]

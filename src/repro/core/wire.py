@@ -1,0 +1,188 @@
+"""Concrete wire serialization for protocol packets.
+
+The simulator accounts for on-air bytes through
+:class:`~repro.core.config.WireFormat`; this module provides the actual
+encodings, so the accounting is backed by real packed structs rather than
+arithmetic alone (the test suite asserts that serialized sizes match the
+``WireFormat`` math).  It also makes the library usable as a codec for real
+radios or packet traces.
+
+Layout (big-endian throughout):
+
+=============  =====================================================
+frame           layout
+=============  =====================================================
+DATA            type(1) ver(2) unit(2) index(2) plen(2) payload
+                depth(1) [auth-path hashes]
+SNACK           type(1) ver(2) unit(2) requester(2) server(2)
+                nbits(2) bitvector mac(len from format)
+ADV             type(1) ver(2) units_complete(2) total(2) mac
+SIGNATURE       type(1) ver(2) root(hash_len) metadata(meta_len)
+                signature(sig_len) puzzle_key(8) puzzle_solution(4)
+=============  =====================================================
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Tuple
+
+from repro.core.config import WireFormat
+from repro.core.packets import Advertisement, DataPacket, SignaturePacket, SnackRequest
+from repro.crypto.puzzle import PuzzleSolution
+from repro.errors import ProtocolError
+
+__all__ = [
+    "encode_data",
+    "decode_data",
+    "encode_snack",
+    "decode_snack",
+    "encode_adv",
+    "decode_adv",
+    "encode_signature",
+    "decode_signature",
+]
+
+_TYPE_DATA = 0x01
+_TYPE_SNACK = 0x02
+_TYPE_ADV = 0x03
+_TYPE_SIG = 0x04
+
+_DATA_HEAD = struct.Struct(">BHHHH")
+_SNACK_HEAD = struct.Struct(">BHHHHH")
+_ADV_HEAD = struct.Struct(">BHHH")
+_SIG_HEAD = struct.Struct(">BH")
+
+
+def encode_data(packet: DataPacket, wire: WireFormat) -> bytes:
+    """Serialize a data packet (auth path included for page-0 packets)."""
+    head = _DATA_HEAD.pack(
+        _TYPE_DATA, packet.version, packet.unit, packet.index, len(packet.payload)
+    )
+    path = b"".join(packet.auth_path)
+    for node in packet.auth_path:
+        if len(node) != wire.hash_len:
+            raise ProtocolError(
+                f"auth-path hash of {len(node)} bytes != hash_len {wire.hash_len}"
+            )
+    return head + packet.payload + bytes([len(packet.auth_path)]) + path
+
+
+def decode_data(raw: bytes, wire: WireFormat) -> DataPacket:
+    kind, version, unit, index, plen = _DATA_HEAD.unpack_from(raw)
+    if kind != _TYPE_DATA:
+        raise ProtocolError(f"not a data frame (type {kind})")
+    offset = _DATA_HEAD.size
+    payload = raw[offset : offset + plen]
+    if len(payload) != plen:
+        raise ProtocolError("truncated data frame payload")
+    offset += plen
+    depth = raw[offset]
+    offset += 1
+    path = []
+    for _ in range(depth):
+        node = raw[offset : offset + wire.hash_len]
+        if len(node) != wire.hash_len:
+            raise ProtocolError("truncated auth path")
+        path.append(node)
+        offset += wire.hash_len
+    return DataPacket(version=version, unit=unit, index=index,
+                      payload=payload, auth_path=tuple(path))
+
+
+def encode_snack(request: SnackRequest, n_packets: int, wire: WireFormat) -> bytes:
+    """Serialize a SNACK; the needed set becomes an ``n_packets``-bit vector."""
+    bits = bytearray((n_packets + 7) // 8)
+    for idx in request.needed:
+        if not 0 <= idx < n_packets:
+            raise ProtocolError(f"needed index {idx} outside [0, {n_packets})")
+        bits[idx // 8] |= 1 << (idx % 8)
+    mac = request.mac or b"\x00" * wire.mac_len
+    if len(mac) != wire.mac_len:
+        raise ProtocolError(f"mac of {len(mac)} bytes != mac_len {wire.mac_len}")
+    head = _SNACK_HEAD.pack(_TYPE_SNACK, request.version, request.unit,
+                            request.requester, request.server, n_packets)
+    return head + bytes(bits) + mac
+
+
+def decode_snack(raw: bytes, wire: WireFormat) -> Tuple[SnackRequest, int]:
+    """Deserialize a SNACK; returns ``(request, n_packets)``."""
+    kind, version, unit, requester, server, n_packets = _SNACK_HEAD.unpack_from(raw)
+    if kind != _TYPE_SNACK:
+        raise ProtocolError(f"not a SNACK frame (type {kind})")
+    offset = _SNACK_HEAD.size
+    nbytes = (n_packets + 7) // 8
+    bits = raw[offset : offset + nbytes]
+    if len(bits) != nbytes:
+        raise ProtocolError("truncated SNACK bit-vector")
+    offset += nbytes
+    mac = raw[offset : offset + wire.mac_len]
+    needed = tuple(
+        idx for idx in range(n_packets) if bits[idx // 8] & (1 << (idx % 8))
+    )
+    return (
+        SnackRequest(version=version, unit=unit, requester=requester,
+                     server=server, needed=needed, mac=mac),
+        n_packets,
+    )
+
+
+def encode_adv(adv: Advertisement, wire: WireFormat) -> bytes:
+    mac = adv.mac or b"\x00" * wire.mac_len
+    if len(mac) != wire.mac_len:
+        raise ProtocolError(f"mac of {len(mac)} bytes != mac_len {wire.mac_len}")
+    return _ADV_HEAD.pack(_TYPE_ADV, adv.version, adv.units_complete,
+                          adv.total_units) + mac
+
+
+def decode_adv(raw: bytes, wire: WireFormat) -> Advertisement:
+    kind, version, units_complete, total_units = _ADV_HEAD.unpack_from(raw)
+    if kind != _TYPE_ADV:
+        raise ProtocolError(f"not an advertisement frame (type {kind})")
+    mac = raw[_ADV_HEAD.size : _ADV_HEAD.size + wire.mac_len]
+    return Advertisement(version=version, units_complete=units_complete,
+                         total_units=total_units, mac=mac)
+
+
+def encode_signature(packet: SignaturePacket, wire: WireFormat) -> bytes:
+    if len(packet.root) != wire.hash_len:
+        raise ProtocolError(f"root of {len(packet.root)} bytes != hash_len")
+    if len(packet.metadata) != wire.metadata_len:
+        raise ProtocolError("metadata length mismatch")
+    if len(packet.signature) != wire.signature_len:
+        raise ProtocolError("signature length mismatch")
+    puzzle: PuzzleSolution = packet.puzzle
+    if puzzle is None:
+        key, solution = b"\x00" * 8, 0
+    else:
+        key, solution = puzzle.key, puzzle.solution
+    if len(key) != 8:
+        raise ProtocolError("puzzle key must be 8 bytes on the wire")
+    return (
+        _SIG_HEAD.pack(_TYPE_SIG, packet.version)
+        + packet.root
+        + packet.metadata
+        + packet.signature
+        + key
+        + struct.pack(">I", solution)
+    )
+
+
+def decode_signature(raw: bytes, wire: WireFormat,
+                     puzzle_difficulty: int = 10) -> SignaturePacket:
+    kind, version = _SIG_HEAD.unpack_from(raw)
+    if kind != _TYPE_SIG:
+        raise ProtocolError(f"not a signature frame (type {kind})")
+    offset = _SIG_HEAD.size
+    root = raw[offset : offset + wire.hash_len]
+    offset += wire.hash_len
+    metadata = raw[offset : offset + wire.metadata_len]
+    offset += wire.metadata_len
+    signature = raw[offset : offset + wire.signature_len]
+    offset += wire.signature_len
+    key = raw[offset : offset + 8]
+    offset += 8
+    (solution,) = struct.unpack_from(">I", raw, offset)
+    puzzle = PuzzleSolution(key=key, solution=solution, difficulty=puzzle_difficulty)
+    return SignaturePacket(version=version, root=root, metadata=metadata,
+                           signature=signature, puzzle=puzzle)

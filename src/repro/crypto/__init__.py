@@ -1,0 +1,30 @@
+"""Cryptographic substrate used by Seluge and LR-Seluge.
+
+All primitives are real (not mocked): truncated SHA-256 *hash images* as used
+throughout WSN protocols, a Merkle hash tree with authentication paths, a
+pure-Python ECDSA over NIST P-192, message-specific puzzles (the weak
+authenticator that guards signature packets against flooding), and HMAC-based
+cluster keys for advertisement/SNACK authentication.
+"""
+
+from repro.crypto.hashing import HashImage, hash_image
+from repro.crypto.merkle import MerkleTree
+from repro.crypto.ecdsa import EcdsaKeyPair, EcdsaSignature, generate_keypair, sign, verify
+from repro.crypto.puzzle import MessageSpecificPuzzle
+from repro.crypto.keys import ClusterKey
+from repro.crypto.keychain import KeyChain, verify_chain_key
+
+__all__ = [
+    "HashImage",
+    "hash_image",
+    "MerkleTree",
+    "EcdsaKeyPair",
+    "EcdsaSignature",
+    "generate_keypair",
+    "sign",
+    "verify",
+    "MessageSpecificPuzzle",
+    "ClusterKey",
+    "KeyChain",
+    "verify_chain_key",
+]

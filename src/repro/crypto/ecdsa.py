@@ -1,0 +1,250 @@
+"""Pure-Python ECDSA over NIST P-192.
+
+The base station signs the Merkle root once per code image; sensor nodes
+verify that single signature (Section III-A notes a Tmote Sky verifies an
+ECDSA signature in ~1.12 s, so one verification per image is affordable).
+This module implements the real algorithm — keygen, deterministic signing
+(RFC-6979-style nonce derivation via HMAC-SHA256), and verification — over
+the NIST P-192 curve, with Jacobian-coordinate point arithmetic for speed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import AuthenticationError
+
+__all__ = [
+    "P192",
+    "EcdsaKeyPair",
+    "EcdsaSignature",
+    "generate_keypair",
+    "sign",
+    "verify",
+]
+
+
+@dataclass(frozen=True)
+class CurveParams:
+    """Short-Weierstrass curve y^2 = x^3 + ax + b over F_p with base point G."""
+
+    name: str
+    p: int
+    a: int
+    b: int
+    gx: int
+    gy: int
+    order: int
+
+    @property
+    def byte_len(self) -> int:
+        return (self.p.bit_length() + 7) // 8
+
+
+P192 = CurveParams(
+    name="NIST P-192",
+    p=0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEFFFFFFFFFFFFFFFF,
+    a=0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEFFFFFFFFFFFFFFFC,
+    b=0x64210519E59C80E70FA7E9AB72243049FEB8DEECC146B9B1,
+    gx=0x188DA80EB03090F67CBF20EB43A18800F4FF0AFD82FF1012,
+    gy=0x07192B95FFC8DA78631011ED6B24CDD573F977A11E794811,
+    order=0xFFFFFFFFFFFFFFFFFFFFFFFF99DEF836146BC9B1B4D22831,
+)
+
+# A point is (X, Y, Z) in Jacobian coordinates; None is the point at infinity.
+_JPoint = Optional[Tuple[int, int, int]]
+
+
+def _jac_double(pt: _JPoint, curve: CurveParams) -> _JPoint:
+    if pt is None:
+        return None
+    x, y, z = pt
+    if y == 0:
+        return None
+    p = curve.p
+    ysq = (y * y) % p
+    s = (4 * x * ysq) % p
+    m = (3 * x * x + curve.a * pow(z, 4, p)) % p
+    nx = (m * m - 2 * s) % p
+    ny = (m * (s - nx) - 8 * ysq * ysq) % p
+    nz = (2 * y * z) % p
+    return (nx, ny, nz)
+
+
+def _jac_add(p1: _JPoint, p2: _JPoint, curve: CurveParams) -> _JPoint:
+    if p1 is None:
+        return p2
+    if p2 is None:
+        return p1
+    p = curve.p
+    x1, y1, z1 = p1
+    x2, y2, z2 = p2
+    z1sq = (z1 * z1) % p
+    z2sq = (z2 * z2) % p
+    u1 = (x1 * z2sq) % p
+    u2 = (x2 * z1sq) % p
+    s1 = (y1 * z2sq * z2) % p
+    s2 = (y2 * z1sq * z1) % p
+    if u1 == u2:
+        if s1 != s2:
+            return None
+        return _jac_double(p1, curve)
+    h = (u2 - u1) % p
+    r = (s2 - s1) % p
+    hsq = (h * h) % p
+    hcu = (hsq * h) % p
+    u1hsq = (u1 * hsq) % p
+    nx = (r * r - hcu - 2 * u1hsq) % p
+    ny = (r * (u1hsq - nx) - s1 * hcu) % p
+    nz = (h * z1 * z2) % p
+    return (nx, ny, nz)
+
+
+def _jac_mul(k: int, pt: _JPoint, curve: CurveParams) -> _JPoint:
+    result: _JPoint = None
+    addend = pt
+    while k:
+        if k & 1:
+            result = _jac_add(result, addend, curve)
+        addend = _jac_double(addend, curve)
+        k >>= 1
+    return result
+
+
+def _to_affine(pt: _JPoint, curve: CurveParams) -> Optional[Tuple[int, int]]:
+    if pt is None:
+        return None
+    x, y, z = pt
+    zinv = pow(z, curve.p - 2, curve.p)
+    zinv2 = (zinv * zinv) % curve.p
+    return ((x * zinv2) % curve.p, (y * zinv2 * zinv) % curve.p)
+
+
+def _base_point(curve: CurveParams) -> _JPoint:
+    return (curve.gx, curve.gy, 1)
+
+
+def _hash_to_int(message: bytes, curve: CurveParams) -> int:
+    digest = hashlib.sha256(message).digest()
+    e = int.from_bytes(digest, "big")
+    excess = 8 * len(digest) - curve.order.bit_length()
+    if excess > 0:
+        e >>= excess
+    return e
+
+
+def _rfc6979_nonce(priv: int, msg_hash_int: int, curve: CurveParams) -> int:
+    """Deterministic per-message nonce (RFC 6979 with SHA-256)."""
+    qlen = curve.order.bit_length()
+    holen = 32
+    rolen = (qlen + 7) // 8
+    bx = priv.to_bytes(rolen, "big") + (msg_hash_int % curve.order).to_bytes(rolen, "big")
+    v = b"\x01" * holen
+    k = b"\x00" * holen
+    k = hmac.new(k, v + b"\x00" + bx, hashlib.sha256).digest()
+    v = hmac.new(k, v, hashlib.sha256).digest()
+    k = hmac.new(k, v + b"\x01" + bx, hashlib.sha256).digest()
+    v = hmac.new(k, v, hashlib.sha256).digest()
+    while True:
+        t = b""
+        while len(t) < rolen:
+            v = hmac.new(k, v, hashlib.sha256).digest()
+            t += v
+        candidate = int.from_bytes(t[:rolen], "big")
+        excess = 8 * rolen - qlen
+        if excess > 0:
+            candidate >>= excess
+        if 1 <= candidate < curve.order:
+            return candidate
+        k = hmac.new(k, v + b"\x00", hashlib.sha256).digest()
+        v = hmac.new(k, v, hashlib.sha256).digest()
+
+
+@dataclass(frozen=True)
+class EcdsaSignature:
+    """An ECDSA signature pair (r, s)."""
+
+    r: int
+    s: int
+
+    def to_bytes(self, curve: CurveParams = P192) -> bytes:
+        n = curve.byte_len
+        return self.r.to_bytes(n, "big") + self.s.to_bytes(n, "big")
+
+    @classmethod
+    def from_bytes(cls, raw: bytes, curve: CurveParams = P192) -> "EcdsaSignature":
+        n = curve.byte_len
+        if len(raw) != 2 * n:
+            raise AuthenticationError(f"signature must be {2 * n} bytes, got {len(raw)}")
+        return cls(int.from_bytes(raw[:n], "big"), int.from_bytes(raw[n:], "big"))
+
+
+@dataclass(frozen=True)
+class EcdsaKeyPair:
+    """Private scalar and public point."""
+
+    private: int
+    public: Tuple[int, int]
+    curve: CurveParams = P192
+
+
+def generate_keypair(seed: int, curve: CurveParams = P192) -> EcdsaKeyPair:
+    """Derive a keypair deterministically from an integer seed.
+
+    Deterministic derivation keeps simulations reproducible; the scalar is
+    a hash of the seed reduced into [1, order).
+    """
+    digest = hashlib.sha256(f"ecdsa-key:{seed}".encode()).digest()
+    priv = (int.from_bytes(digest, "big") % (curve.order - 1)) + 1
+    pub = _to_affine(_jac_mul(priv, _base_point(curve), curve), curve)
+    assert pub is not None
+    return EcdsaKeyPair(private=priv, public=pub, curve=curve)
+
+
+def sign(message: bytes, keypair: EcdsaKeyPair) -> EcdsaSignature:
+    """Sign ``message`` (hashed with SHA-256) with deterministic nonce."""
+    curve = keypair.curve
+    e = _hash_to_int(message, curve)
+    k = _rfc6979_nonce(keypair.private, e, curve)
+    while True:
+        point = _to_affine(_jac_mul(k, _base_point(curve), curve), curve)
+        assert point is not None
+        r = point[0] % curve.order
+        if r == 0:
+            k = (k + 1) % curve.order or 1
+            continue
+        kinv = pow(k, curve.order - 2, curve.order)
+        s = (kinv * (e + r * keypair.private)) % curve.order
+        if s == 0:
+            k = (k + 1) % curve.order or 1
+            continue
+        return EcdsaSignature(r, s)
+
+
+def verify(
+    message: bytes,
+    signature: EcdsaSignature,
+    public: Tuple[int, int],
+    curve: CurveParams = P192,
+) -> bool:
+    """Verify ``signature`` on ``message`` under public key ``public``."""
+    r, s = signature.r, signature.s
+    if not (1 <= r < curve.order and 1 <= s < curve.order):
+        return False
+    e = _hash_to_int(message, curve)
+    w = pow(s, curve.order - 2, curve.order)
+    u1 = (e * w) % curve.order
+    u2 = (r * w) % curve.order
+    pub_jac: _JPoint = (public[0], public[1], 1)
+    point = _jac_add(
+        _jac_mul(u1, _base_point(curve), curve),
+        _jac_mul(u2, pub_jac, curve),
+        curve,
+    )
+    affine = _to_affine(point, curve)
+    if affine is None:
+        return False
+    return affine[0] % curve.order == r

@@ -1,0 +1,37 @@
+"""Hash images: truncated SHA-256 digests.
+
+Sensor-network protocols (Seluge, LR-Seluge) carry short *hash images* —
+truncated cryptographic hashes, typically 8 bytes — inside packets, trading a
+shorter digest for packet space while keeping second-preimage resistance
+adequate for short-lived dissemination sessions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.errors import ConfigError
+
+__all__ = ["DEFAULT_HASH_LEN", "HashImage", "hash_image", "full_hash"]
+
+DEFAULT_HASH_LEN = 8
+_MIN_LEN = 4
+_MAX_LEN = 32
+
+HashImage = bytes
+"""Type alias: a truncated digest."""
+
+
+def hash_image(data: bytes, length: int = DEFAULT_HASH_LEN) -> HashImage:
+    """Return the ``length``-byte truncated SHA-256 digest of ``data``.
+
+    ``length`` must lie in [4, 32]; 8 bytes is the protocol default.
+    """
+    if not _MIN_LEN <= length <= _MAX_LEN:
+        raise ConfigError(f"hash length {length} outside [{_MIN_LEN}, {_MAX_LEN}]")
+    return hashlib.sha256(data).digest()[:length]
+
+
+def full_hash(data: bytes) -> bytes:
+    """Return the full 32-byte SHA-256 digest of ``data``."""
+    return hashlib.sha256(data).digest()

@@ -1,0 +1,76 @@
+"""One-way hash key chain (the source of puzzle keys across code versions).
+
+In Seluge, the message-specific puzzle key for code version ``v`` is the
+``v``-th element of a one-way key chain: the network owner draws a random
+chain tail ``K_n``, computes ``K_i = H(K_{i+1})`` down to the commitment
+``K_0``, and preloads every node with ``K_0``.  Releasing ``K_v`` with
+version ``v``'s signature packet lets nodes authenticate the key itself in
+``v`` hash operations (``H^v(K_v) == K_0``) while future keys stay
+unpredictable — so an adversary cannot pre-compute puzzle solutions for a
+version that has not been released.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List
+
+from repro.errors import AuthenticationError, ConfigError
+
+__all__ = ["KeyChain", "verify_chain_key"]
+
+_KEY_LEN = 8
+
+
+def _advance(key: bytes) -> bytes:
+    return hashlib.sha256(b"keychain|" + key).digest()[:_KEY_LEN]
+
+
+class KeyChain:
+    """Owner-side chain: generates and discloses per-version keys."""
+
+    def __init__(self, length: int, seed: int = 0):
+        if length < 1:
+            raise ConfigError(f"chain length must be >= 1, got {length}")
+        self.length = length
+        tail = hashlib.sha256(f"keychain-tail:{seed}".encode()).digest()[:_KEY_LEN]
+        # chain[i] = K_i, with K_length = tail and K_0 the public commitment.
+        chain: List[bytes] = [b""] * (length + 1)
+        chain[length] = tail
+        for i in range(length - 1, -1, -1):
+            chain[i] = _advance(chain[i + 1])
+        self._chain = chain
+
+    @property
+    def commitment(self) -> bytes:
+        """K_0 — preloaded on every sensor node before deployment."""
+        return self._chain[0]
+
+    def key_for_version(self, version: int) -> bytes:
+        """Disclose K_version (the puzzle key for that code image)."""
+        if not 1 <= version <= self.length:
+            raise ConfigError(
+                f"version {version} outside chain range [1, {self.length}]"
+            )
+        return self._chain[version]
+
+
+def verify_chain_key(key: bytes, version: int, commitment: bytes,
+                     max_length: int = 10_000) -> bool:
+    """Node-side check: does ``H^version(key)`` reach the commitment?
+
+    Costs ``version`` hash operations.  Returns False for out-of-range
+    versions rather than looping unboundedly.
+    """
+    if not 1 <= version <= max_length:
+        return False
+    value = key
+    for _ in range(version):
+        value = _advance(value)
+    return value == commitment
+
+
+def require_chain_key(key: bytes, version: int, commitment: bytes) -> None:
+    """Raise :class:`AuthenticationError` unless the disclosed key verifies."""
+    if not verify_chain_key(key, version, commitment):
+        raise AuthenticationError(f"key chain verification failed for version {version}")

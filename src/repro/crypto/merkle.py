@@ -1,0 +1,105 @@
+"""Merkle hash tree over the encoded packets of the hash page (page 0).
+
+The base station builds a depth-``d`` binary tree over ``n0 = 2**d`` leaves
+(the encoded blocks of page 0), signs the root, and ships each block together
+with its authentication path — the siblings of every node on the leaf-to-root
+path — so receivers authenticate each page-0 packet in ``d`` hash operations
+(Section IV-C3 / Fig. 2 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.crypto.hashing import DEFAULT_HASH_LEN, hash_image
+from repro.errors import AuthenticationError, ConfigError
+
+__all__ = ["MerkleTree", "verify_merkle_path"]
+
+
+def _is_power_of_two(x: int) -> bool:
+    return x > 0 and (x & (x - 1)) == 0
+
+
+class MerkleTree:
+    """Binary Merkle tree with authentication-path extraction.
+
+    ``levels[0]`` holds the leaf hashes ``H(block_j)``; ``levels[-1][0]`` is
+    the root.  Internal nodes are ``H(left || right)``.
+    """
+
+    def __init__(self, leaves_data: Sequence[bytes], hash_len: int = DEFAULT_HASH_LEN):
+        if not _is_power_of_two(len(leaves_data)):
+            raise ConfigError(
+                f"Merkle tree needs a power-of-two leaf count, got {len(leaves_data)}"
+            )
+        self.hash_len = hash_len
+        self.n_leaves = len(leaves_data)
+        self.levels: List[List[bytes]] = [
+            [hash_image(d, hash_len) for d in leaves_data]
+        ]
+        while len(self.levels[-1]) > 1:
+            prev = self.levels[-1]
+            self.levels.append(
+                [
+                    hash_image(prev[i] + prev[i + 1], hash_len)
+                    for i in range(0, len(prev), 2)
+                ]
+            )
+
+    @property
+    def root(self) -> bytes:
+        """The tree root; the base station signs this value."""
+        return self.levels[-1][0]
+
+    @property
+    def depth(self) -> int:
+        """Number of hashes on an authentication path (``log2 n_leaves``)."""
+        return len(self.levels) - 1
+
+    def auth_path(self, index: int) -> List[bytes]:
+        """Authentication path for leaf ``index``: sibling hashes, leaf→root order."""
+        if not 0 <= index < self.n_leaves:
+            raise ConfigError(f"leaf index {index} out of range [0, {self.n_leaves})")
+        path: List[bytes] = []
+        pos = index
+        for level in self.levels[:-1]:
+            sibling = pos ^ 1
+            path.append(level[sibling])
+            pos //= 2
+        return path
+
+
+def verify_merkle_path(
+    leaf_data: bytes,
+    index: int,
+    path: Sequence[bytes],
+    root: bytes,
+    hash_len: int = DEFAULT_HASH_LEN,
+) -> bool:
+    """Check that ``leaf_data`` at ``index`` hashes up ``path`` to ``root``.
+
+    This is the receiver-side page-0 packet check (Eq. 4-style verification in
+    the paper): ``d`` hash operations, no signature involved.
+    """
+    node = hash_image(leaf_data, hash_len)
+    pos = index
+    for sibling in path:
+        if pos & 1:
+            node = hash_image(sibling + node, hash_len)
+        else:
+            node = hash_image(node + sibling, hash_len)
+        pos //= 2
+    return node == root
+
+
+def require_valid_merkle_path(
+    leaf_data: bytes,
+    index: int,
+    path: Sequence[bytes],
+    root: bytes,
+    hash_len: int = DEFAULT_HASH_LEN,
+) -> None:
+    """Raise :class:`AuthenticationError` unless the path verifies."""
+    if not verify_merkle_path(leaf_data, index, path, root, hash_len):
+        raise AuthenticationError(f"Merkle path for leaf {index} does not verify")

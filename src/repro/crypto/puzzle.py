@@ -1,0 +1,74 @@
+"""Message-specific puzzles — the weak authenticator on signature packets.
+
+Seluge (and LR-Seluge) attach a cheap-to-verify, moderately-expensive-to-forge
+puzzle to the signature packet so that a flood of bogus signature packets is
+filtered by one hash operation each instead of one ECDSA verification each.
+
+We implement the hash-preimage flavour: the sender searches for a solution
+``s`` such that ``H(message || key || s)`` ends in ``difficulty`` zero bits.
+Verification is a single hash.  The per-image puzzle *key* is released with
+the message (in the full scheme it comes from a one-way key chain; for one
+dissemination session a fresh random key gives the same filtering behaviour,
+which is what the simulations measure).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+__all__ = ["MessageSpecificPuzzle", "PuzzleSolution"]
+
+
+@dataclass(frozen=True)
+class PuzzleSolution:
+    """A solved puzzle: the released key and the found solution value."""
+
+    key: bytes
+    solution: int
+    difficulty: int
+
+    @property
+    def wire_size(self) -> int:
+        """Bytes this solution occupies in the signature packet."""
+        return len(self.key) + 4
+
+
+class MessageSpecificPuzzle:
+    """Create and check message-specific puzzles.
+
+    ``difficulty`` counts trailing zero bits required of the digest; each unit
+    doubles the expected forging work while leaving verification at one hash.
+    """
+
+    def __init__(self, difficulty: int = 12, key_len: int = 8):
+        if not 1 <= difficulty <= 28:
+            raise ConfigError(f"puzzle difficulty {difficulty} outside [1, 28]")
+        self.difficulty = difficulty
+        self.key_len = key_len
+        self._mask = (1 << difficulty) - 1
+
+    def _digest_tail(self, message: bytes, key: bytes, solution: int) -> int:
+        digest = hashlib.sha256(
+            message + key + solution.to_bytes(8, "big")
+        ).digest()
+        return int.from_bytes(digest[-4:], "big") & self._mask
+
+    def solve(self, message: bytes, key: bytes) -> PuzzleSolution:
+        """Search for a valid solution (sender side; base station only)."""
+        solution = 0
+        while self._digest_tail(message, key, solution) != 0:
+            solution += 1
+        return PuzzleSolution(key=key, solution=solution, difficulty=self.difficulty)
+
+    def check(self, message: bytes, candidate: PuzzleSolution) -> bool:
+        """Verify a claimed solution with a single hash (receiver side)."""
+        if candidate.difficulty != self.difficulty:
+            return False
+        return self._digest_tail(message, candidate.key, candidate.solution) == 0
+
+    def expected_work(self) -> int:
+        """Expected number of hash evaluations an adversary needs per forgery."""
+        return 1 << self.difficulty

@@ -1,0 +1,108 @@
+"""The k-n-k' erasure-code contract (paper Section II-C).
+
+A code transforms ``k`` equal-length source blocks into ``n >= k`` encoded
+blocks such that any ``k'`` of them (``k <= k' <= n``) recover the source.
+``k'`` is the *declared reception threshold* the protocol waits for before
+attempting a decode; for an MDS code ``k' = k``, while Tornado-style codes
+need a small overhead (``k' > k``), which the paper assumes.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.errors import CodingError
+
+__all__ = ["ErasureCode", "blocks_to_array", "array_to_blocks", "make_code"]
+
+
+def blocks_to_array(blocks: Sequence[bytes]) -> np.ndarray:
+    """Stack equal-length byte blocks into a (count x L) uint8 array."""
+    if not blocks:
+        raise CodingError("cannot encode zero blocks")
+    length = len(blocks[0])
+    for i, b in enumerate(blocks):
+        if len(b) != length:
+            raise CodingError(
+                f"block {i} has length {len(b)}, expected {length}"
+            )
+    return np.frombuffer(b"".join(blocks), dtype=np.uint8).reshape(len(blocks), length)
+
+
+def array_to_blocks(array: np.ndarray) -> List[bytes]:
+    """Split a (count x L) uint8 array back into byte blocks."""
+    return [row.tobytes() for row in array]
+
+
+class ErasureCode(abc.ABC):
+    """Abstract fixed-rate erasure code with parameters ``k``, ``n``, ``k'``."""
+
+    def __init__(self, k: int, n: int, kprime: int):
+        if k < 1:
+            raise CodingError(f"k must be >= 1, got {k}")
+        if n < k:
+            raise CodingError(f"n ({n}) must be >= k ({k})")
+        if not k <= kprime <= n:
+            raise CodingError(f"k' ({kprime}) must lie in [k={k}, n={n}]")
+        self.k = k
+        self.n = n
+        self.kprime = kprime
+
+    @property
+    def rate(self) -> float:
+        """Expansion ratio n/k."""
+        return self.n / self.k
+
+    @property
+    def redundancy(self) -> int:
+        """Number of redundant blocks n - k."""
+        return self.n - self.k
+
+    @abc.abstractmethod
+    def encode(self, blocks: Sequence[bytes]) -> List[bytes]:
+        """Encode ``k`` source blocks into ``n`` encoded blocks."""
+
+    @abc.abstractmethod
+    def decode(self, packets: Dict[int, bytes]) -> List[bytes]:
+        """Recover the ``k`` source blocks from ``{index: encoded block}``.
+
+        Raises :class:`~repro.errors.DecodeError` when the supplied packets
+        cannot determine the source (too few, or linearly dependent).
+        """
+
+    def can_attempt_decode(self, received_count: int) -> bool:
+        """Protocol-level gate: decode is attempted once ``k'`` packets arrived."""
+        return received_count >= self.kprime
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"{type(self).__name__}(k={self.k}, n={self.n}, kprime={self.kprime})"
+        )
+
+
+def make_code(kind: str, k: int, n: int, kprime: int = 0, seed: int = 0) -> ErasureCode:
+    """Factory over the implemented code families.
+
+    ``kind``: ``"rs"`` (systematic Reed-Solomon, MDS), ``"rlc"`` (random
+    linear over GF(256)), ``"lt"`` (fixed-rate LT, Robust Soliton), or
+    ``"tornado"`` (systematic staircase XOR).  ``kprime=0`` selects each
+    code's default declared reception threshold.
+    """
+    from repro.erasure.lt import LTCode
+    from repro.erasure.rlc import RandomLinearCode
+    from repro.erasure.rs import ReedSolomonCode
+    from repro.erasure.tornado import TornadoCode
+
+    kind = kind.lower()
+    if kind == "rs":
+        return ReedSolomonCode(k, n, kprime or k)
+    if kind == "rlc":
+        return RandomLinearCode(k, n, kprime or min(n, k + 2), seed=seed)
+    if kind == "lt":
+        return LTCode(k, n, kprime, seed=seed)
+    if kind == "tornado":
+        return TornadoCode(k, n, kprime, seed=seed)
+    raise CodingError(f"unknown erasure code kind {kind!r}")

@@ -1,0 +1,101 @@
+"""Dense linear algebra over GF(256): elimination, rank, inversion, solving.
+
+Used by the Reed-Solomon and random-linear-code decoders.  All matrices are
+numpy uint8 arrays; row operations are vectorised through the field tables.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.erasure.gf256 import GF256
+from repro.errors import DecodeError
+
+__all__ = ["gf_rank", "gf_invert", "gf_solve", "gf_rref"]
+
+
+def gf_rref(matrix: np.ndarray, augment: Optional[np.ndarray] = None) -> Tuple[np.ndarray, Optional[np.ndarray], int]:
+    """Reduced row-echelon form over GF(256).
+
+    Row-reduces ``matrix`` (copied) and mirrors every row operation on the
+    optional ``augment`` block.  Returns ``(rref, reduced_augment, rank)``.
+    """
+    a = matrix.astype(np.uint8).copy()
+    aug = augment.astype(np.uint8).copy() if augment is not None else None
+    rows, cols = a.shape
+    pivot_row = 0
+    for col in range(cols):
+        if pivot_row >= rows:
+            break
+        pivot = None
+        for r in range(pivot_row, rows):
+            if a[r, col] != 0:
+                pivot = r
+                break
+        if pivot is None:
+            continue
+        if pivot != pivot_row:
+            a[[pivot_row, pivot]] = a[[pivot, pivot_row]]
+            if aug is not None:
+                aug[[pivot_row, pivot]] = aug[[pivot, pivot_row]]
+        inv = GF256.inv(int(a[pivot_row, col]))
+        if inv != 1:
+            a[pivot_row] = GF256.scale_vec(inv, a[pivot_row])
+            if aug is not None:
+                aug[pivot_row] = GF256.scale_vec(inv, aug[pivot_row])
+        for r in range(rows):
+            if r != pivot_row and a[r, col] != 0:
+                factor = int(a[r, col])
+                GF256.addmul_vec(a[r], factor, a[pivot_row])
+                if aug is not None:
+                    GF256.addmul_vec(aug[r], factor, aug[pivot_row])
+        pivot_row += 1
+    return a, aug, pivot_row
+
+
+def gf_rank(matrix: np.ndarray) -> int:
+    """Rank of ``matrix`` over GF(256)."""
+    _, _, rank = gf_rref(matrix)
+    return rank
+
+
+def gf_invert(matrix: np.ndarray) -> np.ndarray:
+    """Inverse of a square matrix; raises :class:`DecodeError` if singular."""
+    n, m = matrix.shape
+    if n != m:
+        raise DecodeError(f"cannot invert non-square matrix {matrix.shape}")
+    identity = np.eye(n, dtype=np.uint8)
+    rref, inv, rank = gf_rref(matrix, identity)
+    if rank < n:
+        raise DecodeError(f"matrix is singular (rank {rank} < {n})")
+    del rref
+    assert inv is not None
+    return inv
+
+
+def gf_solve(coeffs: np.ndarray, payloads: np.ndarray) -> np.ndarray:
+    """Solve ``coeffs @ X = payloads`` for X over GF(256).
+
+    ``coeffs`` is (m x k) with m >= k and rank k; ``payloads`` is (m x L).
+    Returns the (k x L) solution.  Raises :class:`DecodeError` when the
+    system is rank-deficient (not enough independent packets).
+    """
+    m, k = coeffs.shape
+    if payloads.shape[0] != m:
+        raise DecodeError(
+            f"coefficient rows ({m}) != payload rows ({payloads.shape[0]})"
+        )
+    rref, reduced, rank = gf_rref(coeffs, payloads)
+    if rank < k:
+        raise DecodeError(f"system is rank-deficient (rank {rank} < {k})")
+    assert reduced is not None
+    # After full reduction the first k pivot rows carry the solution in order.
+    solution = np.zeros((k, payloads.shape[1]), dtype=np.uint8)
+    for r in range(rank):
+        pivot_cols = np.nonzero(rref[r])[0]
+        if len(pivot_cols) == 0:
+            continue
+        solution[pivot_cols[0]] = reduced[r]
+    return solution

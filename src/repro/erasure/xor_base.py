@@ -1,0 +1,178 @@
+"""Shared machinery for XOR (GF(2)) erasure codes.
+
+LT and Tornado-style codes combine source blocks with plain XOR.  Each
+encoded symbol is described by a *bitmask* over the ``k`` source blocks
+(bit ``j`` set means block ``j`` participates).  Decoding is exact Gaussian
+elimination over GF(2): bitmasks are Python ints (cheap XOR), payload rows
+are numpy uint8 arrays (vectorised XOR), and a set of received symbols
+decodes iff its bitmask matrix has rank ``k`` — which is precisely why
+these codes need ``k' > k`` received symbols in practice, the reception
+overhead the paper attributes to its erasure code.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.erasure.base import ErasureCode, blocks_to_array
+from repro.errors import CodingError, DecodeError
+
+__all__ = ["XorErasureCode", "gf2_rank"]
+
+
+def _xor_basis(masks: Sequence[int]) -> Dict[int, int]:
+    """Reduced XOR basis keyed by leading-bit position."""
+    table: Dict[int, int] = {}
+    for mask in masks:
+        while mask:
+            msb = mask.bit_length() - 1
+            pivot = table.get(msb)
+            if pivot is None:
+                table[msb] = mask
+                break
+            mask ^= pivot
+    return table
+
+
+def gf2_rank(masks: Sequence[int]) -> int:
+    """Rank over GF(2) of the given bitmask rows."""
+    return len(_xor_basis(masks))
+
+
+class XorErasureCode(ErasureCode):
+    """Base class: subclasses define the bitmask of every encoded symbol."""
+
+    def symbol_mask(self, index: int) -> int:
+        """Bitmask over source blocks for encoded symbol ``index``."""
+        raise NotImplementedError
+
+    def _ensure_full_rank(self) -> None:
+        """Guarantee the n predetermined symbols span all k source blocks.
+
+        A randomly drawn symbol set can (rarely) miss a source block
+        entirely, which would make the page undecodable no matter how many
+        packets arrive.  Repair deterministically: replace the last symbols
+        with singletons of the missing pivot columns.  Subclasses call this
+        once at construction; every node runs the same repair, so the
+        symbol set stays globally consistent.
+        """
+        patch_index = self.n - 1
+        while True:
+            basis = _xor_basis([self.symbol_mask(i) for i in range(self.n)])
+            if len(basis) == self.k:
+                return
+            if patch_index < 0:
+                raise CodingError(
+                    f"cannot repair symbol set to full rank (k={self.k}, n={self.n})"
+                )
+            # Overriding a symbol can itself remove a rank contributor, so
+            # patch one symbol at a time and re-evaluate.
+            missing = next(j for j in range(self.k) if j not in basis)
+            self._override_mask(patch_index, 1 << missing)
+            patch_index -= 1
+
+    def _override_mask(self, index: int, mask: int) -> None:
+        """Subclasses with mask caches may support deterministic repair."""
+        cache = getattr(self, "_mask_cache", None)
+        if cache is None:
+            cache = getattr(self, "_parity_masks", None)
+        if cache is None:  # pragma: no cover - subclasses always have one
+            raise CodingError("code does not support mask repair")
+        cache[index] = mask
+
+    # -- encoding ---------------------------------------------------------------
+
+    def encode(self, blocks: Sequence[bytes]) -> List[bytes]:
+        if len(blocks) != self.k:
+            raise CodingError(f"expected {self.k} source blocks, got {len(blocks)}")
+        data = blocks_to_array(blocks)
+        out: List[bytes] = []
+        for index in range(self.n):
+            mask = self.symbol_mask(index)
+            if mask == 0:
+                raise CodingError(f"symbol {index} has an empty combination")
+            acc = np.zeros(data.shape[1], dtype=np.uint8)
+            j = 0
+            m = mask
+            while m:
+                if m & 1:
+                    np.bitwise_xor(acc, data[j], out=acc)
+                m >>= 1
+                j += 1
+            out.append(acc.tobytes())
+        return out
+
+    # -- decoding ---------------------------------------------------------------
+
+    def decode(self, packets: Dict[int, bytes]) -> List[bytes]:
+        if len(packets) < self.k:
+            raise DecodeError(
+                f"need at least k={self.k} symbols to decode, got {len(packets)}"
+            )
+        indices = sorted(packets)
+        length = len(packets[indices[0]])
+        rows: List[Tuple[int, np.ndarray]] = [
+            (
+                self.symbol_mask(i),
+                np.frombuffer(packets[i], dtype=np.uint8).copy(),
+            )
+            for i in indices
+        ]
+        # Forward elimination over GF(2) with partial pivoting by lowest bit.
+        solution: Dict[int, Tuple[int, np.ndarray]] = {}  # pivot column -> row
+        for mask, payload in rows:
+            while mask:
+                pivot = (mask & -mask).bit_length() - 1
+                existing = solution.get(pivot)
+                if existing is None:
+                    solution[pivot] = (mask, payload)
+                    break
+                mask ^= existing[0]
+                payload = payload ^ existing[1]
+        if len(solution) < self.k:
+            raise DecodeError(
+                f"received symbols span rank {len(solution)} < k={self.k}"
+            )
+        # Back substitution: reduce every pivot row to a singleton mask.
+        for pivot in sorted(solution, reverse=True):
+            mask, payload = solution[pivot]
+            m = mask & ~(1 << pivot)
+            while m:
+                other = (m & -m).bit_length() - 1
+                omask, opayload = solution[other]
+                mask ^= omask
+                payload = payload ^ opayload
+                m = mask & ~(1 << pivot)
+            solution[pivot] = (mask, payload)
+        return [solution[j][1].tobytes() for j in range(self.k)]
+
+    def decodable(self, indices: Sequence[int]) -> bool:
+        """True when the given symbol indices span the source over GF(2)."""
+        if len(indices) < self.k:
+            return False
+        return gf2_rank([self.symbol_mask(i) for i in indices]) == self.k
+
+    def empirical_overhead(self, trials: int = 200, seed: int = 0) -> float:
+        """Mean extra symbols (beyond k) needed to decode random receptions.
+
+        Measures the code's true reception overhead — the quantity the
+        protocol's declared ``k'`` must cover.
+        """
+        import random
+
+        rng = random.Random(seed)
+        total_extra = 0
+        for _ in range(trials):
+            order = list(range(self.n))
+            rng.shuffle(order)
+            received: List[int] = []
+            for count, idx in enumerate(order, start=1):
+                received.append(idx)
+                if count >= self.k and self.decodable(received):
+                    total_extra += count - self.k
+                    break
+            else:
+                total_extra += self.n - self.k
+        return total_extra / trials

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the repro package."""
+
+__all__ = [
+    "ReproError",
+    "SimulationError",
+    "CodingError",
+    "DecodeError",
+    "AuthenticationError",
+    "ConfigError",
+    "ProtocolError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SimulationError(ReproError):
+    """Misuse of the discrete-event simulator (past scheduling, reentrancy...)."""
+
+
+class CodingError(ReproError):
+    """Invalid erasure-code parameters or encode-side failure."""
+
+
+class DecodeError(CodingError):
+    """Decoding failed: not enough packets or inconsistent symbols."""
+
+
+class AuthenticationError(ReproError):
+    """A packet, signature, Merkle path, or puzzle failed verification."""
+
+
+class ConfigError(ReproError):
+    """Inconsistent or out-of-range configuration values."""
+
+
+class ProtocolError(ReproError):
+    """Protocol state-machine violation (e.g. serving a page not possessed)."""

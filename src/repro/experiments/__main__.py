@@ -1,0 +1,129 @@
+"""CLI: regenerate the paper's figures and tables.
+
+Usage::
+
+    python -m repro.experiments fig3a
+    python -m repro.experiments fig4 --quick
+    python -m repro.experiments table2
+    python -m repro.experiments all --quick
+
+``--quick`` runs scaled-down versions (smaller image, fewer seeds, smaller
+grids) that finish in tens of seconds; full-size runs can take minutes for
+the one-hop figures and longer for the 15x15 grids.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import figures, tables
+from repro.experiments.ablations import ablate_burstiness, ablate_overhead, ablate_scheduler
+
+
+def _fig3a(quick: bool):
+    if quick:
+        return figures.fig3a(loss_rates=(0.1, 0.2, 0.3, 0.4), receivers=10,
+                             image_size=6 * 1024, seeds=(1,))
+    return figures.fig3a()
+
+
+def _fig3b(quick: bool):
+    if quick:
+        return figures.fig3b(receiver_counts=(5, 10, 20, 30), image_size=6 * 1024,
+                             seeds=(1,))
+    return figures.fig3b()
+
+
+def _fig4(quick: bool):
+    if quick:
+        return figures.fig4(loss_rates=(0.01, 0.1, 0.3), receivers=10,
+                            image_size=6 * 1024, seeds=(1,))
+    return figures.fig4()
+
+
+def _fig5(quick: bool):
+    if quick:
+        return figures.fig5(receiver_counts=(5, 15, 30), image_size=6 * 1024,
+                            seeds=(1,))
+    return figures.fig5()
+
+
+def _fig6(quick: bool):
+    if quick:
+        return figures.fig6(rates_n=(34, 48, 64), loss_rates=(0.1,),
+                            image_size=6 * 1024, seeds=(1,))
+    return figures.fig6()
+
+
+def _table2(quick: bool):
+    if quick:
+        return tables.table2(image_size=6 * 1024, seeds=(1,), rows=8, cols=8)
+    return tables.table2()
+
+
+def _table3(quick: bool):
+    if quick:
+        return tables.table3(image_size=6 * 1024, seeds=(1,), rows=8, cols=8)
+    return tables.table3()
+
+
+def _ablations(quick: bool):
+    size = 6 * 1024 if quick else 20 * 1024
+    seeds = (1,) if quick else (1, 2)
+    results = [
+        ablate_scheduler(image_size=size, seeds=seeds),
+        ablate_overhead(image_size=size, seeds=seeds),
+        ablate_burstiness(image_size=size, seeds=seeds),
+    ]
+    return results
+
+
+_TARGETS = {
+    "fig3a": _fig3a,
+    "fig3b": _fig3b,
+    "fig4": _fig4,
+    "fig5": _fig5,
+    "fig6": _fig6,
+    "table2": _table2,
+    "table3": _table3,
+    "ablations": _ablations,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the LR-Seluge paper's figures and tables.",
+    )
+    parser.add_argument("target", choices=sorted(_TARGETS) + ["all"])
+    parser.add_argument("--quick", action="store_true",
+                        help="scaled-down sizes for a fast check")
+    parser.add_argument("--export", metavar="DIR", default=None,
+                        help="also write each series as CSV into DIR")
+    args = parser.parse_args(argv)
+
+    names = sorted(_TARGETS) if args.target == "all" else [args.target]
+    for name in names:
+        started = time.time()
+        result = _TARGETS[name](args.quick)
+        elapsed = time.time() - started
+        results = result if isinstance(result, list) else [result]
+        for i, r in enumerate(results):
+            print(r.report())
+            print()
+            if args.export:
+                from pathlib import Path
+
+                directory = Path(args.export)
+                directory.mkdir(parents=True, exist_ok=True)
+                suffix = f"_{i}" if len(results) > 1 else ""
+                r.save(directory / f"{name}{suffix}.csv")
+        print(f"[{name} regenerated in {elapsed:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,74 @@
+"""Run-level metrics matching the paper's five evaluation quantities.
+
+Section VI compares: total data packets, total SNACK packets, total
+advertisement packets, total communication cost in bytes (data + SNACK +
+advertisement, to account for LR-Seluge's ``n - k`` extra SNACK bits), and
+overall dissemination latency (time until every node holds the image).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+__all__ = ["RunResult"]
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulated dissemination."""
+
+    protocol: str
+    completed: bool
+    latency: float
+    counters: Dict[str, int] = field(default_factory=dict)
+    per_node_completion: Dict[int, float] = field(default_factory=dict)
+    images_ok: Optional[bool] = None
+    seed: int = 0
+
+    # -- the paper's five metrics ------------------------------------------------
+
+    @property
+    def data_packets(self) -> int:
+        return self.counters.get("tx_data", 0) + self.counters.get("tx_signature", 0)
+
+    @property
+    def snack_packets(self) -> int:
+        return self.counters.get("tx_snack", 0)
+
+    @property
+    def adv_packets(self) -> int:
+        return self.counters.get("tx_adv", 0)
+
+    @property
+    def total_bytes(self) -> int:
+        return (
+            self.counters.get("tx_data_bytes", 0)
+            + self.counters.get("tx_signature_bytes", 0)
+            + self.counters.get("tx_snack_bytes", 0)
+            + self.counters.get("tx_adv_bytes", 0)
+        )
+
+    @property
+    def data_bytes(self) -> int:
+        return self.counters.get("tx_data_bytes", 0) + self.counters.get(
+            "tx_signature_bytes", 0
+        )
+
+    def summary_row(self) -> Dict[str, float]:
+        """The five paper metrics as a flat dict (for report tables)."""
+        return {
+            "data_pkts": self.data_packets,
+            "snack_pkts": self.snack_packets,
+            "adv_pkts": self.adv_packets,
+            "total_bytes": self.total_bytes,
+            "latency_s": round(self.latency, 2),
+        }
+
+    def __str__(self) -> str:  # pragma: no cover - convenience formatting
+        status = "ok" if self.completed else "INCOMPLETE"
+        return (
+            f"{self.protocol}: {status} data={self.data_packets} "
+            f"snack={self.snack_packets} adv={self.adv_packets} "
+            f"bytes={self.total_bytes} latency={self.latency:.1f}s"
+        )

@@ -1,0 +1,46 @@
+"""Plain-text report tables for regenerated figures and tables."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+__all__ = ["format_table", "format_comparison"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str = "") -> str:
+    """Render an aligned monospace table."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value >= 100:
+            return f"{value:.0f}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_comparison(
+    label: str,
+    baseline: Dict[str, float],
+    candidate: Dict[str, float],
+    baseline_name: str = "seluge",
+    candidate_name: str = "lr-seluge",
+) -> str:
+    """One-line relative summary: negative saving means the candidate costs more."""
+    parts = [label]
+    for key in baseline:
+        b, c = baseline[key], candidate.get(key, 0)
+        if b:
+            parts.append(f"{key}: {100.0 * (1.0 - c / b):+.0f}%")
+    return "  ".join(parts)

@@ -1,0 +1,115 @@
+"""Generic parameter sweeps with optional multiprocessing.
+
+The figure functions cover the paper's sweeps; this utility covers
+everything else a user might want to explore::
+
+    from repro.experiments.sweeps import sweep_one_hop
+
+    table = sweep_one_hop(
+        protocols=("seluge", "lr-seluge"),
+        loss_rates=(0.1, 0.3),
+        receivers=(10, 20),
+        seeds=(1, 2),
+        processes=4,
+    )
+    print(table.report())
+
+Every combination runs in its own process (simulations are CPU-bound and
+fully independent), with deterministic results regardless of scheduling.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import asdict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.figures import FigureResult, mean_metrics
+from repro.experiments.scenarios import MultiHopScenario, OneHopScenario, run_multihop, run_one_hop
+
+__all__ = ["sweep_one_hop", "sweep_multihop"]
+
+_METRIC_HEADERS = ["data_pkts", "snack_pkts", "adv_pkts", "total_bytes", "latency_s"]
+
+
+def _run_one_hop_scenario(scenario: OneHopScenario):
+    return run_one_hop(scenario)
+
+
+def _run_multihop_scenario(scenario: MultiHopScenario):
+    return run_multihop(scenario)
+
+
+def _execute(runner, scenarios, processes: Optional[int]):
+    if processes and processes > 1:
+        import multiprocessing
+
+        with multiprocessing.Pool(processes) as pool:
+            return pool.map(runner, scenarios)
+    return [runner(s) for s in scenarios]
+
+
+def sweep_one_hop(
+    protocols: Sequence[str] = ("seluge", "lr-seluge"),
+    loss_rates: Sequence[float] = (0.1,),
+    receivers: Sequence[int] = (20,),
+    image_size: int = 20 * 1024,
+    k: int = 32,
+    n: int = 48,
+    seeds: Sequence[int] = (1,),
+    processes: Optional[int] = None,
+) -> FigureResult:
+    """Cartesian sweep over the one-hop scenario space."""
+    combos = list(itertools.product(protocols, loss_rates, receivers))
+    rows: List[List[object]] = []
+    for protocol, p, n_recv in combos:
+        scenarios = [
+            OneHopScenario(protocol=protocol, loss_rate=p, receivers=n_recv,
+                           image_size=image_size, k=k, n=n, seed=s)
+            for s in seeds
+        ]
+        results = _execute(_run_one_hop_scenario, scenarios, processes)
+        metrics = mean_metrics(results)
+        completed = all(r.completed for r in results)
+        rows.append(
+            [protocol, p, n_recv]
+            + [round(metrics[h], 1) for h in _METRIC_HEADERS]
+            + ["yes" if completed else "NO"]
+        )
+    return FigureResult(
+        name=f"One-hop sweep ({image_size // 1024} KiB, k={k}, n={n}, "
+             f"{len(seeds)} seed(s))",
+        headers=["protocol", "p", "N"] + _METRIC_HEADERS + ["completed"],
+        rows=rows,
+    )
+
+
+def sweep_multihop(
+    protocols: Sequence[str] = ("seluge", "lr-seluge"),
+    topologies: Sequence[str] = ("tight:8x8",),
+    image_size: int = 8 * 1024,
+    seeds: Sequence[int] = (1,),
+    processes: Optional[int] = None,
+) -> FigureResult:
+    """Cartesian sweep over grid/random topologies."""
+    combos = list(itertools.product(protocols, topologies))
+    rows: List[List[object]] = []
+    for protocol, topology in combos:
+        scenarios = [
+            MultiHopScenario(protocol=protocol, topology=topology,
+                             image_size=image_size, seed=s)
+            for s in seeds
+        ]
+        results = _execute(_run_multihop_scenario, scenarios, processes)
+        metrics = mean_metrics(results)
+        completed = all(r.completed for r in results)
+        rows.append(
+            [protocol, topology]
+            + [round(metrics[h], 1) for h in _METRIC_HEADERS]
+            + ["yes" if completed else "NO"]
+        )
+    return FigureResult(
+        name=f"Multi-hop sweep ({image_size // 1024} KiB, {len(seeds)} seed(s))",
+        headers=["protocol", "topology"] + _METRIC_HEADERS + ["completed"],
+        rows=rows,
+    )

@@ -1,0 +1,36 @@
+"""Wireless-network substrate: frames, loss models, topologies, radio + MAC.
+
+The medium is a broadcast radio (:class:`Radio`) with a CSMA-style MAC,
+half-duplex nodes, optional collision modelling, and pluggable loss models —
+from the paper's application-layer Bernoulli drops (one-hop experiments) to
+per-link PRR maps derived from a propagation model (multi-hop grids) and
+bursty Gilbert-Elliott / synthetic-noise-trace channels.
+"""
+
+from repro.net.packet import Frame, FrameKind
+from repro.net.channel import (
+    BernoulliLoss,
+    GilbertElliottLoss,
+    LossModel,
+    NoLoss,
+    PerLinkLoss,
+)
+from repro.net.topology import Topology, grid_topology, star_topology, random_disk_topology
+from repro.net.radio import Radio
+from repro.net.node import NetworkNode
+
+__all__ = [
+    "Frame",
+    "FrameKind",
+    "LossModel",
+    "NoLoss",
+    "BernoulliLoss",
+    "PerLinkLoss",
+    "GilbertElliottLoss",
+    "Topology",
+    "star_topology",
+    "grid_topology",
+    "random_disk_topology",
+    "Radio",
+    "NetworkNode",
+]

@@ -1,0 +1,59 @@
+"""Base class for simulated network nodes."""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, List
+
+from repro.net.packet import Frame, FrameKind
+from repro.net.radio import Radio
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import TraceRecorder
+
+__all__ = ["NetworkNode"]
+
+
+class NetworkNode(abc.ABC):
+    """A node attached to a :class:`Radio`.
+
+    Subclasses implement :meth:`on_receive`; :meth:`broadcast` builds and
+    queues a frame.  Each node owns a named RNG stream for protocol jitter so
+    simulations stay reproducible.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        sim: Simulator,
+        radio: Radio,
+        rngs: RngRegistry,
+        trace: TraceRecorder,
+    ):
+        self.node_id = node_id
+        self.sim = sim
+        self.radio = radio
+        self.rngs = rngs
+        self.trace = trace
+        self.rng = rngs.get(f"node/{node_id}")
+        radio.register(self)
+
+    @property
+    def neighbors(self) -> List[int]:
+        return self.radio.neighbors(self.node_id)
+
+    def broadcast(self, kind: FrameKind, size_bytes: int, payload: Any, dest: int = None) -> Frame:
+        """Queue a local broadcast; returns the frame for bookkeeping."""
+        frame = Frame(
+            kind=kind,
+            sender=self.node_id,
+            size_bytes=size_bytes,
+            payload=payload,
+            dest=dest,
+        )
+        self.radio.send(frame)
+        return frame
+
+    @abc.abstractmethod
+    def on_receive(self, frame: Frame, sender: int) -> None:
+        """Handle a frame delivered by the radio."""

@@ -1,0 +1,48 @@
+"""Wire frames.
+
+A :class:`Frame` is what the radio carries: a kind, a sender, an explicit
+on-air size in bytes (protocols compute their own packet sizes, including
+hash images, bit-vectors, and Merkle paths), and an opaque protocol payload
+object.  All frames are local broadcasts; ``dest`` is advisory (SNACKs name
+the neighbor being asked to serve, but everyone in range overhears).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["FrameKind", "Frame"]
+
+_frame_ids = itertools.count()
+
+
+class FrameKind(enum.Enum):
+    """Categories the evaluation reports separately (Section VI metrics)."""
+
+    DATA = "data"
+    SNACK = "snack"
+    ADV = "adv"
+    SIGNATURE = "signature"
+
+    @property
+    def metric_name(self) -> str:
+        return f"tx_{self.value}"
+
+
+@dataclass
+class Frame:
+    """One on-air transmission unit."""
+
+    kind: FrameKind
+    sender: int
+    size_bytes: int
+    payload: Any
+    dest: Optional[int] = None
+    frame_id: int = field(default_factory=lambda: next(_frame_ids))
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError(f"frame size must be positive, got {self.size_bytes}")

@@ -1,0 +1,224 @@
+"""Broadcast radio with CSMA MAC, half-duplex nodes, and collision modelling.
+
+Every transmission is a local broadcast: each neighbor of the sender receives
+the frame at transmission end unless (a) it was itself transmitting
+(half-duplex), (b) another audible transmission overlapped in time
+(collision), or (c) the loss model drops it.  Carrier sensing defers a send
+while any audible transmission is on the air, then retries after a random
+backoff — a deliberately simple CSMA in the spirit of the mica2 stack.
+
+The one-hop experiments can disable collision modelling (the paper places
+nodes "close enough to eliminate packet transmission errors caused by channel
+impairments" and emulates all losses at the application layer).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, TYPE_CHECKING
+
+from repro.errors import SimulationError
+from repro.net.channel import LossModel
+from repro.net.packet import Frame
+from repro.net.topology import Topology
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import TraceRecorder
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.node import NetworkNode
+
+__all__ = ["RadioConfig", "Radio"]
+
+
+@dataclass(frozen=True)
+class RadioConfig:
+    """Physical/MAC constants (mica2 CC1000 flavour)."""
+
+    bitrate_bps: float = 19200.0
+    preamble_bytes: int = 8
+    backoff_min_s: float = 0.005
+    backoff_max_s: float = 0.040
+    collisions: bool = True
+    max_backoff_attempts: int = 60
+
+    def airtime(self, size_bytes: int) -> float:
+        """Seconds a frame of ``size_bytes`` occupies the channel."""
+        return (size_bytes + self.preamble_bytes) * 8.0 / self.bitrate_bps
+
+
+class _Transmission:
+    __slots__ = ("sender", "frame", "start", "end")
+
+    def __init__(self, sender: int, frame: Frame, start: float, end: float):
+        self.sender = sender
+        self.frame = frame
+        self.start = start
+        self.end = end
+
+
+class Radio:
+    """The shared broadcast medium plus one MAC queue per node."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        loss_model: LossModel,
+        rngs: RngRegistry,
+        trace: TraceRecorder,
+        config: Optional[RadioConfig] = None,
+    ):
+        self.sim = sim
+        self.topology = topology
+        self.loss_model = loss_model
+        self.rngs = rngs
+        self.trace = trace
+        self.config = config or RadioConfig()
+        self._nodes: Dict[int, "NetworkNode"] = {}
+        self._queues: Dict[int, Deque[Frame]] = {}
+        self._sending: Dict[int, bool] = {}
+        self._backoffs: Dict[int, int] = {}
+        self._active: List[_Transmission] = []
+        self._history: List[_Transmission] = []
+
+    # -- registration -------------------------------------------------------
+
+    def register(self, node: "NetworkNode") -> None:
+        """Attach a node; it must have a unique id present in the topology."""
+        if node.node_id in self._nodes:
+            raise SimulationError(f"node id {node.node_id} registered twice")
+        if node.node_id not in self.topology.positions:
+            raise SimulationError(f"node id {node.node_id} not in topology")
+        self._nodes[node.node_id] = node
+        self._queues[node.node_id] = deque()
+        self._sending[node.node_id] = False
+        self._backoffs[node.node_id] = 0
+
+    def node(self, node_id: int) -> "NetworkNode":
+        return self._nodes[node_id]
+
+    def neighbors(self, node_id: int) -> List[int]:
+        """Registered neighbors of ``node_id``."""
+        return [v for v in self.topology.neighbors.get(node_id, []) if v in self._nodes]
+
+    # -- send path -----------------------------------------------------------
+
+    def send(self, frame: Frame) -> None:
+        """Enqueue a frame on the sender's MAC queue."""
+        self._queues[frame.sender].append(frame)
+        self._pump(frame.sender)
+
+    def queue_length(self, node_id: int) -> int:
+        return len(self._queues[node_id])
+
+    def cancel_queued(self, node_id: int, predicate) -> int:
+        """Drop queued (not yet on-air) frames matching ``predicate``.
+
+        Supports data-packet suppression: a sender that overhears the packet
+        it was about to transmit removes it from its queue.
+        """
+        queue = self._queues[node_id]
+        kept = [f for f in queue if not predicate(f)]
+        removed = len(queue) - len(kept)
+        queue.clear()
+        queue.extend(kept)
+        return removed
+
+    def _channel_busy(self, node_id: int) -> bool:
+        """Carrier sense: any audible transmission in progress?"""
+        if self._sending[node_id]:
+            return True
+        if not self.config.collisions:
+            # Without a physical channel model there is still a single
+            # sender-side radio: a node's own queue serialises its sends,
+            # but concurrent senders never interfere.
+            return False
+        now = self.sim.now
+        audible = set(self.topology.neighbors.get(node_id, ()))
+        for tx in self._active:
+            if tx.end > now and (tx.sender == node_id or tx.sender in audible):
+                return True
+        return False
+
+    def _pump(self, node_id: int) -> None:
+        if self._sending[node_id] or not self._queues[node_id]:
+            return
+        if self._channel_busy(node_id):
+            self._backoffs[node_id] += 1
+            if self._backoffs[node_id] > self.config.max_backoff_attempts:
+                # Give up on this frame (models MAC drop under congestion).
+                dropped = self._queues[node_id].popleft()
+                self.trace.record(self.sim.now, "mac_drop", node_id, frame_kind=dropped.kind.value)
+                self._backoffs[node_id] = 0
+                self._pump(node_id)
+                return
+            rng = self.rngs.get(f"mac/{node_id}")
+            delay = rng.uniform(self.config.backoff_min_s, self.config.backoff_max_s)
+            self.sim.schedule(delay, self._pump, node_id)
+            return
+        self._backoffs[node_id] = 0
+        frame = self._queues[node_id].popleft()
+        duration = self.config.airtime(frame.size_bytes)
+        tx = _Transmission(node_id, frame, self.sim.now, self.sim.now + duration)
+        self._active.append(tx)
+        self._sending[node_id] = True
+        self.trace.count(frame.kind.metric_name)
+        self.trace.count(f"{frame.kind.metric_name}_bytes", frame.size_bytes)
+        self.trace.count("tx_total")
+        self.trace.count("tx_total_bytes", frame.size_bytes)
+        unit = getattr(frame.payload, "unit", None)
+        if unit is not None:
+            self.trace.count(f"{frame.kind.metric_name}_unit_{unit}")
+        self.sim.schedule(duration, self._finish, tx)
+
+    def _finish(self, tx: _Transmission) -> None:
+        self._active.remove(tx)
+        self._sending[tx.sender] = False
+        if self.config.collisions:
+            self._history.append(tx)
+            self._prune_history(tx.start)
+        for receiver in self.neighbors(tx.sender):
+            self._attempt_delivery(tx, receiver)
+        self._pump(tx.sender)
+
+    def _prune_history(self, horizon: float) -> None:
+        if len(self._history) > 256:
+            self._history = [t for t in self._history if t.end >= horizon]
+
+    def _overlaps(self, tx: _Transmission, receiver: int) -> bool:
+        """Did another audible transmission overlap ``tx`` at ``receiver``?"""
+        audible = set(self.topology.neighbors.get(receiver, ()))
+        for other in self._active + self._history:
+            if other is tx or other.sender == tx.sender:
+                continue
+            if other.end <= tx.start or other.start >= tx.end:
+                continue
+            if other.sender in audible or other.sender == receiver:
+                return True
+        return False
+
+    def _was_transmitting(self, node_id: int, tx: _Transmission) -> bool:
+        for other in self._active + self._history:
+            if other.sender != node_id:
+                continue
+            if other.end <= tx.start or other.start >= tx.end:
+                continue
+            return True
+        return False
+
+    def _attempt_delivery(self, tx: _Transmission, receiver: int) -> None:
+        if self.config.collisions:
+            if self._was_transmitting(receiver, tx):
+                self.trace.count("rx_halfduplex_miss")
+                return
+            if self._overlaps(tx, receiver):
+                self.trace.count("rx_collision")
+                return
+        if self.loss_model.should_drop(self.rngs, tx.sender, receiver, tx.frame, self.sim.now):
+            self.trace.count("rx_lost")
+            return
+        self.trace.count("rx_delivered")
+        self.trace.count("rx_delivered_bytes", tx.frame.size_bytes)
+        self._nodes[receiver].on_receive(tx.frame, tx.sender)

@@ -1,0 +1,29 @@
+"""Dissemination protocols: Deluge, Seluge, LR-Seluge, Rateless Deluge.
+
+All protocols share the epidemic MAINTAIN / RX / TX machinery of
+:mod:`repro.protocols.common` and differ in packet construction,
+authentication, and TX-state scheduling.  :mod:`repro.protocols.attacks`
+provides adversary nodes for the security experiments.
+"""
+
+from repro.protocols.common import DisseminationNode, ProtocolName
+from repro.protocols.deluge import DelugeNode, build_deluge_network
+from repro.protocols.seluge import SelugeNode, build_seluge_network
+from repro.protocols.lr_seluge import LRSelugeNode, build_lr_seluge_network
+from repro.protocols.rateless import RatelessDelugeNode, build_rateless_network
+from repro.protocols.control_auth import ClusterAuthenticator, PairwiseAuthenticator
+
+__all__ = [
+    "ProtocolName",
+    "DisseminationNode",
+    "DelugeNode",
+    "SelugeNode",
+    "LRSelugeNode",
+    "RatelessDelugeNode",
+    "build_deluge_network",
+    "build_seluge_network",
+    "build_lr_seluge_network",
+    "build_rateless_network",
+    "ClusterAuthenticator",
+    "PairwiseAuthenticator",
+]

@@ -1,0 +1,22 @@
+"""Discrete-event simulation substrate.
+
+A small, deterministic event-driven simulator: :class:`Simulator` maintains a
+time-ordered event queue, :class:`Timer` provides restartable one-shot timers,
+:class:`RngRegistry` hands out independent named random streams derived from a
+single root seed so every experiment is reproducible, and
+:class:`TraceRecorder` collects counters and timestamped trace records.
+"""
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.process import PeriodicProcess, Timer
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import TraceRecorder
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "Timer",
+    "PeriodicProcess",
+    "RngRegistry",
+    "TraceRecorder",
+]

@@ -1,0 +1,139 @@
+"""Core discrete-event engine.
+
+The engine is a classic calendar queue built on :mod:`heapq`.  Events are
+totally ordered by ``(time, sequence)`` so that simultaneous events execute in
+scheduling order, which keeps runs deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+from repro.errors import SimulationError
+
+__all__ = ["Event", "Simulator"]
+
+
+class Event:
+    """A scheduled callback.
+
+    Instances are returned by :meth:`Simulator.schedule` and may be cancelled
+    with :meth:`cancel`; cancelled events stay in the heap but are skipped
+    when popped (lazy deletion).
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent this event from firing; safe to call more than once."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time:.6f}, seq={self.seq}, {state}, fn={self.fn!r})"
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(1.0, handler, arg1, arg2)
+        sim.run(until=100.0)
+
+    The simulator never advances past ``until`` and executes events in strict
+    ``(time, insertion order)`` order.
+    """
+
+    def __init__(self) -> None:
+        self._queue: List[Event] = []
+        self._now: float = 0.0
+        self._seq: int = 0
+        self._running: bool = False
+        self._processed: int = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of queued, not-yet-cancelled events."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule event in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, fn, *args)
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at absolute simulation time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at t={time} before now={self._now}"
+            )
+        event = Event(time, self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Run until the queue drains, ``until`` is reached, or ``max_events``.
+
+        Returns the number of events executed by this call.  When ``until`` is
+        given, time is advanced to exactly ``until`` even if the queue drains
+        earlier, so back-to-back ``run`` calls observe monotonic time.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not reentrant")
+        self._running = True
+        executed = 0
+        try:
+            while self._queue:
+                event = self._queue[0]
+                if event.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                heapq.heappop(self._queue)
+                self._now = event.time
+                event.fn(*event.args)
+                executed += 1
+                self._processed += 1
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+        return executed
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> int:
+        """Run until no events remain; guard against runaway loops."""
+        executed = self.run(max_events=max_events)
+        if self._queue and not all(e.cancelled for e in self._queue):
+            if executed >= max_events:
+                raise SimulationError(
+                    f"simulation did not quiesce within {max_events} events"
+                )
+        return executed

@@ -1,0 +1,68 @@
+"""Lightweight counters and trace records for simulations.
+
+Protocols report what happened through a :class:`TraceRecorder`; experiment
+code reads the counters afterwards.  Recording full trace entries is optional
+(and off by default) because large runs only need the counters.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["TraceRecord", "TraceRecorder"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One timestamped trace entry."""
+
+    time: float
+    kind: str
+    node: Optional[int]
+    detail: Tuple[Tuple[str, Any], ...]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        for k, v in self.detail:
+            if k == key:
+                return v
+        return default
+
+
+class TraceRecorder:
+    """Accumulates named counters and (optionally) full trace records."""
+
+    def __init__(self, keep_records: bool = False):
+        self.counters: Counter = Counter()
+        self.keep_records = keep_records
+        self.records: List[TraceRecord] = []
+        self._marks: Dict[str, float] = {}
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Increment counter ``name`` by ``amount``."""
+        self.counters[name] += amount
+
+    def record(self, time: float, kind: str, node: Optional[int] = None, **detail: Any) -> None:
+        """Count ``kind`` and, when enabled, store a full trace record."""
+        self.counters[kind] += 1
+        if self.keep_records:
+            self.records.append(
+                TraceRecord(time, kind, node, tuple(sorted(detail.items())))
+            )
+
+    def mark(self, name: str, time: float) -> None:
+        """Remember a named timestamp (first write wins)."""
+        if name not in self._marks:
+            self._marks[name] = time
+
+    def get_mark(self, name: str) -> Optional[float]:
+        return self._marks.get(name)
+
+    def of_kind(self, kind: str) -> List[TraceRecord]:
+        """All stored records of ``kind`` (requires ``keep_records=True``)."""
+        return [r for r in self.records if r.kind == kind]
+
+    def snapshot(self) -> Dict[str, int]:
+        """A plain-dict copy of all counters."""
+        return dict(self.counters)

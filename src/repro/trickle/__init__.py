@@ -1,0 +1,9 @@
+"""Trickle: polite-gossip timer for advertisement scheduling (RFC 6206 style).
+
+Deluge, Seluge, and LR-Seluge all pace their advertisements with Trickle so
+that steady-state traffic stays low while new code propagates fast.
+"""
+
+from repro.trickle.timer import TrickleTimer
+
+__all__ = ["TrickleTimer"]

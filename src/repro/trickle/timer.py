@@ -1,0 +1,109 @@
+"""The Trickle algorithm (Levis et al., NSDI'04 / RFC 6206).
+
+Each node maintains an interval ``I`` in ``[i_min, i_max]``.  At a uniformly
+random point ``t`` in the second half of the interval it fires its callback
+(broadcasts an advertisement) *unless* it has already heard ``redundancy_k``
+consistent messages this interval.  At each interval end ``I`` doubles
+(capped at ``i_max``); hearing an *inconsistent* message (e.g. a neighbor
+with older code) resets ``I`` to ``i_min`` so updates propagate quickly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import ConfigError
+from repro.sim.engine import Event, Simulator
+
+__all__ = ["TrickleTimer"]
+
+
+class TrickleTimer:
+    """One node's Trickle instance driving a broadcast callback."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fire: Callable[[], None],
+        rng,
+        i_min: float = 1.0,
+        i_max: float = 60.0,
+        redundancy_k: int = 1,
+    ):
+        if i_min <= 0 or i_max < i_min:
+            raise ConfigError(f"need 0 < i_min <= i_max, got [{i_min}, {i_max}]")
+        if redundancy_k < 1:
+            raise ConfigError("redundancy_k must be >= 1")
+        self.sim = sim
+        self.fire = fire
+        self.rng = rng
+        self.i_min = i_min
+        self.i_max = i_max
+        self.redundancy_k = redundancy_k
+        self.interval = i_min
+        self.counter = 0
+        self._fire_event: Optional[Event] = None
+        self._interval_event: Optional[Event] = None
+        self._running = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin operating at the minimum interval."""
+        if self._running:
+            return
+        self._running = True
+        self.interval = self.i_min
+        self._begin_interval()
+
+    def stop(self) -> None:
+        """Suspend; :meth:`start` resumes from ``i_min``."""
+        self._running = False
+        self._cancel_events()
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    # -- Trickle events ------------------------------------------------------
+
+    def heard_consistent(self) -> None:
+        """A neighbor advertised the same state; may suppress our broadcast."""
+        self.counter += 1
+
+    def heard_inconsistent(self) -> None:
+        """A neighbor disagrees (older/newer state): reset to fast gossip."""
+        if not self._running:
+            return
+        if self.interval > self.i_min:
+            self.interval = self.i_min
+            self._cancel_events()
+            self._begin_interval()
+        # If already at i_min, RFC 6206 leaves the current interval running.
+
+    # -- internals -----------------------------------------------------------
+
+    def _cancel_events(self) -> None:
+        for event in (self._fire_event, self._interval_event):
+            if event is not None:
+                event.cancel()
+        self._fire_event = None
+        self._interval_event = None
+
+    def _begin_interval(self) -> None:
+        self.counter = 0
+        t = self.rng.uniform(self.interval / 2.0, self.interval)
+        self._fire_event = self.sim.schedule(t, self._maybe_fire)
+        self._interval_event = self.sim.schedule(self.interval, self._interval_end)
+
+    def _maybe_fire(self) -> None:
+        self._fire_event = None
+        if self._running and self.counter < self.redundancy_k:
+            self.fire()
+
+    def _interval_end(self) -> None:
+        self._interval_event = None
+        if not self._running:
+            return
+        self.interval = min(self.interval * 2.0, self.i_max)
+        self._begin_interval()

@@ -1,0 +1,67 @@
+"""Unit tests for probability helpers."""
+
+import math
+import random
+
+import pytest
+from scipy import stats as sstats
+
+from repro.analysis.distributions import (
+    binomial_pmf,
+    binomial_tail_ge,
+    expected_max_geometric,
+)
+from repro.errors import ConfigError
+
+
+def test_max_geometric_no_loss():
+    assert expected_max_geometric(10, 0.0) == 1.0
+
+
+def test_max_geometric_single_receiver_is_plain_geometric():
+    # E[Geometric(1-p)] = 1 / (1-p)
+    for p in (0.1, 0.3, 0.5):
+        assert expected_max_geometric(1, p) == pytest.approx(1.0 / (1.0 - p), rel=1e-9)
+
+
+def test_max_geometric_monotone_in_n_and_p():
+    assert expected_max_geometric(20, 0.2) > expected_max_geometric(5, 0.2)
+    assert expected_max_geometric(10, 0.4) > expected_max_geometric(10, 0.1)
+
+
+def test_max_geometric_against_monte_carlo():
+    rng = random.Random(42)
+    n, p, trials = 8, 0.3, 20000
+    total = 0
+    for _ in range(trials):
+        total += max(
+            next(t for t in range(1, 1000) if rng.random() >= p) for _ in range(n)
+        )
+    empirical = total / trials
+    assert expected_max_geometric(n, p) == pytest.approx(empirical, rel=0.02)
+
+
+def test_max_geometric_validation():
+    with pytest.raises(ConfigError):
+        expected_max_geometric(0, 0.1)
+    with pytest.raises(ConfigError):
+        expected_max_geometric(5, 1.0)
+
+
+def test_binomial_pmf_against_scipy():
+    for n, q in ((10, 0.3), (48, 0.6), (5, 0.0), (5, 1.0)):
+        for k in range(n + 1):
+            assert binomial_pmf(k, n, q) == pytest.approx(
+                sstats.binom.pmf(k, n, q), abs=1e-12
+            )
+
+
+def test_binomial_pmf_out_of_range():
+    assert binomial_pmf(-1, 5, 0.5) == 0.0
+    assert binomial_pmf(6, 5, 0.5) == 0.0
+
+
+def test_binomial_tail_against_scipy():
+    for n, q, k in ((48, 0.6, 34), (20, 0.5, 10), (10, 0.9, 0), (10, 0.9, 11)):
+        expected = sstats.binom.sf(k - 1, n, q) if 0 < k <= n else (1.0 if k <= 0 else 0.0)
+        assert binomial_tail_ge(k, n, q) == pytest.approx(expected, abs=1e-10)

@@ -1,0 +1,95 @@
+"""Unit tests for the Section-V analytical models."""
+
+import pytest
+
+from repro.analysis.onehop import (
+    ack_lr_expected_tx,
+    ack_lr_round_distribution,
+    seluge_expected_tx,
+    seluge_page_expected_tx,
+)
+from repro.errors import ConfigError
+
+
+def test_seluge_no_loss_is_k():
+    assert seluge_page_expected_tx(32, 20, 0.0) == 32.0
+
+
+def test_seluge_scales_with_pages():
+    per_page = seluge_page_expected_tx(32, 20, 0.2)
+    assert seluge_expected_tx(10, 32, 20, 0.2) == pytest.approx(10 * per_page)
+    with pytest.raises(ConfigError):
+        seluge_expected_tx(0, 32, 20, 0.2)
+
+
+def test_seluge_monotone():
+    assert seluge_page_expected_tx(32, 20, 0.3) > seluge_page_expected_tx(32, 20, 0.1)
+    assert seluge_page_expected_tx(32, 40, 0.2) > seluge_page_expected_tx(32, 10, 0.2)
+
+
+def test_ack_lr_no_loss_is_kprime():
+    assert ack_lr_expected_tx(1, 34, 48, 20, 0.0) == pytest.approx(34.0)
+    assert ack_lr_expected_tx(3, 34, 48, 20, 0.0) == pytest.approx(102.0)
+
+
+def test_ack_lr_single_receiver_dp_matches_geometric_tail():
+    """With n = k' (no redundancy) one receiver reduces to per-packet ARQ."""
+    expected = ack_lr_expected_tx(1, 10, 10, 1, 0.3)
+    # First pass sends 10; each missing packet then costs Geometric(0.7):
+    # E = 10 + 10*p/(1-p) = 10 / (1-p)
+    assert expected == pytest.approx(10 / 0.7, rel=1e-6)
+
+
+def test_ack_lr_monotone_in_p():
+    values = [ack_lr_expected_tx(1, 34, 48, 20, p, trials=200) for p in (0.1, 0.2, 0.3)]
+    assert values[0] < values[1] < values[2]
+
+
+def test_ack_lr_less_sensitive_to_n_than_seluge():
+    """The Fig. 3(b) shape: LR grows much slower with N than Seluge."""
+    lr_small = ack_lr_expected_tx(1, 34, 48, 5, 0.2, trials=300)
+    lr_large = ack_lr_expected_tx(1, 34, 48, 40, 0.2, trials=300)
+    sel_small = seluge_page_expected_tx(32, 5, 0.2)
+    sel_large = seluge_page_expected_tx(32, 40, 0.2)
+    assert (lr_large / lr_small) < (sel_large / sel_small)
+
+
+def test_ack_lr_below_seluge_at_moderate_loss():
+    """The Fig. 3(a) shape at p = 0.2: erasure coding wins clearly."""
+    lr = ack_lr_expected_tx(1, 34, 48, 20, 0.2, trials=300)
+    seluge = seluge_page_expected_tx(32, 20, 0.2)
+    assert lr < seluge
+
+
+def test_ack_lr_validation():
+    with pytest.raises(ConfigError):
+        ack_lr_expected_tx(1, 50, 48, 5, 0.1)
+    with pytest.raises(ConfigError):
+        ack_lr_expected_tx(1, 34, 48, 5, 1.0)
+
+
+def test_round_distribution_is_distribution():
+    dist = ack_lr_round_distribution(34, 48, 20, 0.2, trials=300)
+    assert sum(dist) == pytest.approx(1.0)
+    assert all(0.0 <= x <= 1.0 for x in dist)
+
+
+def test_round_distribution_no_loss_single_round():
+    dist = ack_lr_round_distribution(34, 48, 20, 0.0, trials=50)
+    assert dist == [1.0]
+
+
+def test_round_regime_shifts_with_loss():
+    """More loss pushes probability mass to later rounds (the paper's
+    one-round/two-round regime observation)."""
+    low = ack_lr_round_distribution(34, 48, 20, 0.05, trials=400)
+    high = ack_lr_round_distribution(34, 48, 20, 0.4, trials=400)
+    mean_low = sum((i + 1) * v for i, v in enumerate(low))
+    mean_high = sum((i + 1) * v for i, v in enumerate(high))
+    assert mean_high > mean_low
+
+
+def test_deterministic_for_fixed_seed():
+    a = ack_lr_expected_tx(2, 34, 48, 10, 0.25, trials=100, seed=7)
+    b = ack_lr_expected_tx(2, 34, 48, 10, 0.25, trials=100, seed=7)
+    assert a == b

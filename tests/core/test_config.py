@@ -1,0 +1,125 @@
+"""Unit tests for configuration objects and derived geometry."""
+
+import pytest
+
+from repro.core.config import (
+    DelugeParams,
+    ImageConfig,
+    LRSelugeParams,
+    ProtocolTiming,
+    SelugeParams,
+    WireFormat,
+    next_power_of_two,
+)
+from repro.errors import ConfigError
+
+
+def test_next_power_of_two():
+    assert next_power_of_two(1) == 1
+    assert next_power_of_two(2) == 2
+    assert next_power_of_two(3) == 4
+    assert next_power_of_two(17) == 32
+    with pytest.raises(ConfigError):
+        next_power_of_two(0)
+
+
+def test_image_config_validation():
+    with pytest.raises(ConfigError):
+        ImageConfig(image_size=0)
+
+
+def test_wire_format_sizes():
+    wire = WireFormat()
+    assert wire.data_packet_size(72) == 83
+    assert wire.data_packet_size(72, auth_path_hashes=3) == 83 + 24
+    assert wire.snack_size(48) == 11 + 4 + 6
+    assert wire.snack_size(32) == 11 + 4 + 4  # n-k bits shorter for Seluge
+    assert wire.adv_size() == 20
+    assert wire.signature_packet_size() == 11 + 8 + 13 + 48 + 12
+
+
+def test_wire_format_validation():
+    with pytest.raises(ConfigError):
+        WireFormat(data_payload=8, hash_len=8)
+
+
+def test_timing_validation():
+    with pytest.raises(ConfigError):
+        ProtocolTiming(adv_i_min=0.0)
+    with pytest.raises(ConfigError):
+        ProtocolTiming(adv_i_min=5.0, adv_i_max=1.0)
+    with pytest.raises(ConfigError):
+        ProtocolTiming(request_timeout=0.0)
+
+
+def test_deluge_pages():
+    params = DelugeParams(k=32, image=ImageConfig(image_size=20 * 1024))
+    assert params.page_capacity == 32 * 72
+    assert params.num_pages() == 9  # ceil(20480 / 2304)
+
+
+def test_seluge_pages_last_page_larger():
+    params = SelugeParams(k=32, image=ImageConfig(image_size=20 * 1024))
+    assert params.chained_slice == 64
+    # last page holds 2304, chained pages 2048: 1 + ceil((20480-2304)/2048) = 10
+    assert params.num_pages() == 10
+
+
+def test_seluge_tiny_image_single_page():
+    params = SelugeParams(k=32, image=ImageConfig(image_size=100))
+    assert params.num_pages() == 1
+
+
+def test_seluge_hash_page_is_power_of_two():
+    params = SelugeParams(k=32)
+    assert params.hash_page_packets() == 4  # 32*8/72 -> 4 raw -> 4
+    params6 = SelugeParams(k=48)
+    assert params6.hash_page_packets() == 8  # 48*8/72 = 6 raw -> 8
+
+
+def test_lr_geometry_defaults():
+    params = LRSelugeParams(k=32, n=48, image=ImageConfig(image_size=20 * 1024))
+    assert params.resolved_kprime == 34
+    assert params.rate == 1.5
+    assert params.page_source_bytes == 2304
+    assert params.page_capacity == 2304 - 48 * 8
+    assert params.num_pages() == 11
+    assert params.k0 == 6   # ceil(48*8/72)
+    assert params.n0 == 8
+    assert params.k0prime == 7
+
+
+def test_lr_explicit_kprime():
+    params = LRSelugeParams(k=32, n=48, kprime=32)
+    assert params.resolved_kprime == 32
+    with pytest.raises(ConfigError):
+        LRSelugeParams(k=32, n=48, kprime=49)
+    with pytest.raises(ConfigError):
+        LRSelugeParams(k=32, n=48, kprime=31)
+
+
+def test_lr_validation():
+    with pytest.raises(ConfigError):
+        LRSelugeParams(k=32, n=16)
+    with pytest.raises(ConfigError):
+        LRSelugeParams(k=200, n=300)
+    # hashes must leave room for image payload in a page
+    with pytest.raises(ConfigError):
+        LRSelugeParams(k=2, n=32)
+
+
+def test_lr_n0_override():
+    params = LRSelugeParams(k=32, n=48, n0_override=16)
+    assert params.n0 == 16
+    with pytest.raises(ConfigError):
+        _ = LRSelugeParams(k=32, n=48, n0_override=12).n0
+    with pytest.raises(ConfigError):
+        _ = LRSelugeParams(k=32, n=48, n0_override=4).n0
+
+
+def test_lr_with_rate():
+    params = LRSelugeParams(k=32, n=48)
+    swept = params.with_rate(64)
+    assert swept.n == 64
+    assert swept.resolved_kprime == 34
+    assert swept.k == params.k

@@ -1,0 +1,54 @@
+"""Unit tests for code images and partitioning."""
+
+import pytest
+
+from repro.core.image import CodeImage, partition, split_blocks
+from repro.errors import ConfigError
+
+
+def test_synthetic_deterministic():
+    a = CodeImage.synthetic(1000, version=2, seed=5)
+    b = CodeImage.synthetic(1000, version=2, seed=5)
+    assert a.data == b.data
+    assert a.size == 1000
+
+
+def test_synthetic_varies_with_seed_and_version():
+    base = CodeImage.synthetic(500, version=2, seed=5)
+    assert CodeImage.synthetic(500, version=2, seed=6).data != base.data
+    assert CodeImage.synthetic(500, version=3, seed=5).data != base.data
+
+
+def test_synthetic_size_validation():
+    with pytest.raises(ConfigError):
+        CodeImage.synthetic(0)
+
+
+def test_digest_stable():
+    img = CodeImage.synthetic(100, seed=1)
+    assert img.digest() == CodeImage.synthetic(100, seed=1).digest()
+
+
+def test_partition_exact():
+    parts = partition(b"abcdefgh", [3, 3, 2])
+    assert parts == [b"abc", b"def", b"gh"]
+
+
+def test_partition_pads_tail():
+    parts = partition(b"abcde", [3, 4])
+    assert parts == [b"abc", b"de\x00\x00"]
+
+
+def test_partition_insufficient_capacity():
+    with pytest.raises(ConfigError):
+        partition(b"abcdefgh", [3, 3])
+
+
+def test_split_blocks():
+    blocks = split_blocks(b"abcdef", 4, 2)
+    assert blocks == [b"abcd", b"ef\x00\x00"]
+
+
+def test_split_blocks_overflow():
+    with pytest.raises(ConfigError):
+        split_blocks(b"abcdefghij", 4, 2)

@@ -1,0 +1,45 @@
+"""Unit tests for wire packets and canonical byte encoding."""
+
+from repro.core.packets import Advertisement, DataPacket, SignaturePacket, SnackRequest
+
+
+def test_canonical_bytes_binds_all_identity_fields():
+    base = DataPacket(version=2, unit=3, index=4, payload=b"payload")
+    assert base.canonical_bytes() == base.canonical_bytes()
+    variants = [
+        DataPacket(version=3, unit=3, index=4, payload=b"payload"),
+        DataPacket(version=2, unit=4, index=4, payload=b"payload"),
+        DataPacket(version=2, unit=3, index=5, payload=b"payload"),
+        DataPacket(version=2, unit=3, index=4, payload=b"payloae"),
+    ]
+    for other in variants:
+        assert other.canonical_bytes() != base.canonical_bytes()
+
+
+def test_canonical_bytes_excludes_auth_path():
+    a = DataPacket(version=2, unit=1, index=0, payload=b"x", auth_path=(b"12345678",))
+    b = DataPacket(version=2, unit=1, index=0, payload=b"x", auth_path=())
+    assert a.canonical_bytes() == b.canonical_bytes()
+
+
+def test_canonical_bytes_layout():
+    pkt = DataPacket(version=1, unit=2, index=3, payload=b"ab")
+    raw = pkt.canonical_bytes()
+    assert raw[:6] == bytes([0, 1, 0, 2, 0, 3])
+    assert raw[6:] == b"ab"
+
+
+def test_snack_ones():
+    req = SnackRequest(version=1, unit=2, requester=5, server=0, needed=(1, 3, 7))
+    assert req.ones == 3
+
+
+def test_advertisement_fields():
+    adv = Advertisement(version=2, units_complete=5, total_units=12)
+    assert adv.units_complete == 5
+
+
+def test_signature_packet_signed_bytes():
+    sp = SignaturePacket(version=1, root=b"r" * 8, metadata=b"m" * 13,
+                         signature=b"s" * 48)
+    assert sp.signed_bytes() == b"r" * 8 + b"m" * 13

@@ -1,0 +1,206 @@
+"""Unit tests for the base-station preprocessing pipelines.
+
+These verify the *construction* invariants of Section IV-C: reverse-order
+chaining, the hash page contents, the Merkle tree, and the signature.
+"""
+
+import pytest
+
+from repro.core.config import DelugeParams, ImageConfig, LRSelugeParams, SelugeParams
+from repro.core.image import CodeImage
+from repro.core.preprocess import (
+    DelugePreprocessor,
+    LRSelugePreprocessor,
+    SelugePreprocessor,
+    pack_metadata,
+    unpack_metadata,
+)
+from repro.crypto.ecdsa import EcdsaSignature, verify
+from repro.crypto.hashing import hash_image
+from repro.crypto.merkle import verify_merkle_path
+from repro.errors import ConfigError
+
+
+@pytest.fixture
+def image(small_image_cfg):
+    return CodeImage.synthetic(small_image_cfg.image_size,
+                               version=small_image_cfg.version, seed=7)
+
+
+def test_metadata_roundtrip():
+    raw = pack_metadata(3, 14, 20480)
+    assert len(raw) == 13
+    assert unpack_metadata(raw) == (3, 14, 20480)
+    with pytest.raises(ConfigError):
+        pack_metadata(3, 14, 20480, pad_to=4)
+
+
+# -- Deluge -------------------------------------------------------------------
+
+
+def test_deluge_units(deluge_params, image):
+    pre = DelugePreprocessor(deluge_params).build(image)
+    assert pre.protocol == "deluge"
+    assert pre.total_units == deluge_params.num_pages()
+    for i, unit in enumerate(pre.units):
+        assert unit.index == i
+        assert unit.kind == "page"
+        assert unit.n_packets == unit.threshold == deluge_params.k
+        assert len(unit.packets) == deluge_params.k
+    assert pre.signature_packet is None
+
+
+def test_deluge_payloads_reassemble(deluge_params, image):
+    pre = DelugePreprocessor(deluge_params).build(image)
+    raw = b"".join(p.payload for u in pre.units for p in u.packets)
+    assert raw[: image.size] == image.data
+
+
+def test_deluge_size_mismatch_rejected(deluge_params):
+    with pytest.raises(ConfigError):
+        DelugePreprocessor(deluge_params).build(CodeImage.synthetic(100))
+
+
+# -- Seluge -------------------------------------------------------------------
+
+
+def test_seluge_unit_layout(seluge_params, image, keypair, puzzle):
+    pre = SelugePreprocessor(seluge_params, keypair, puzzle).build(image)
+    g = seluge_params.num_pages()
+    assert pre.total_units == g + 2
+    assert pre.units[0].kind == "signature"
+    assert pre.units[1].kind == "hash_page"
+    assert all(u.kind == "page" for u in pre.units[2:])
+    assert all(u.threshold == u.n_packets for u in pre.units)
+
+
+def test_seluge_per_packet_chaining(seluge_params, image, keypair, puzzle):
+    """Packet (i, j) embeds the hash image of packet (i+1, j)."""
+    p = seluge_params
+    pre = SelugePreprocessor(p, keypair, puzzle).build(image)
+    pages = pre.units[2:]
+    for a, b in zip(pages[:-1], pages[1:]):
+        for j in range(p.k):
+            embedded = a.packets[j].payload[p.chained_slice:]
+            assert embedded == hash_image(b.packets[j].canonical_bytes())
+
+
+def test_seluge_hash_page_contains_page1_hashes(seluge_params, image, keypair, puzzle):
+    p = seluge_params
+    pre = SelugePreprocessor(p, keypair, puzzle).build(image)
+    m0 = b"".join(pkt.payload for pkt in pre.units[1].packets)
+    first_page = pre.units[2]
+    for j in range(p.k):
+        expected = hash_image(first_page.packets[j].canonical_bytes())
+        assert m0[j * 8:(j + 1) * 8] == expected
+
+
+def test_seluge_merkle_paths_verify(seluge_params, image, keypair, puzzle):
+    pre = SelugePreprocessor(seluge_params, keypair, puzzle).build(image)
+    for pkt in pre.units[1].packets:
+        assert verify_merkle_path(pkt.canonical_bytes(), pkt.index,
+                                  pkt.auth_path, pre.merkle_root)
+
+
+def test_seluge_signature_verifies(seluge_params, image, keypair, puzzle):
+    pre = SelugePreprocessor(seluge_params, keypair, puzzle).build(image)
+    sig_packet = pre.signature_packet
+    sig = EcdsaSignature.from_bytes(sig_packet.signature)
+    assert verify(sig_packet.root + sig_packet.metadata, sig, keypair.public)
+    version, total_units, image_size = unpack_metadata(sig_packet.metadata)
+    assert version == image.version
+    assert total_units == pre.total_units
+    assert image_size == image.size
+
+
+def test_seluge_puzzle_attached_and_valid(seluge_params, image, keypair, puzzle):
+    pre = SelugePreprocessor(seluge_params, keypair, puzzle).build(image)
+    sp = pre.signature_packet
+    assert puzzle.check(sp.root + sp.metadata + sp.signature, sp.puzzle)
+
+
+# -- LR-Seluge ----------------------------------------------------------------
+
+
+def test_lr_unit_layout(lr_params, image, keypair, puzzle):
+    pre = LRSelugePreprocessor(lr_params, keypair, puzzle).build(image)
+    g = lr_params.num_pages()
+    assert pre.total_units == g + 2
+    assert pre.units[1].n_packets == lr_params.n0
+    assert pre.units[1].threshold == lr_params.k0prime
+    for unit in pre.units[2:]:
+        assert unit.n_packets == lr_params.n
+        assert unit.threshold == lr_params.resolved_kprime
+
+
+def test_lr_page_chaining(lr_params, image, keypair, puzzle):
+    """Decoded page i ends with the hash images of page i+1's n packets."""
+    p = lr_params
+    pre = LRSelugePreprocessor(p, keypair, puzzle).build(image)
+    pages = pre.units[2:]
+    for a, b in zip(pages[:-1], pages[1:]):
+        source = b"".join(a.source_blocks)
+        tail = source[p.page_capacity:]
+        for j in range(p.n):
+            expected = hash_image(b.packets[j].canonical_bytes())
+            assert tail[j * 8:(j + 1) * 8] == expected
+
+
+def test_lr_page0_contains_page1_packet_hashes(lr_params, image, keypair, puzzle):
+    p = lr_params
+    pre = LRSelugePreprocessor(p, keypair, puzzle).build(image)
+    m0 = b"".join(pre.units[1].source_blocks)
+    first_page = pre.units[2]
+    for j in range(p.n):
+        expected = hash_image(first_page.packets[j].canonical_bytes())
+        assert m0[j * 8:(j + 1) * 8] == expected
+
+
+def test_lr_encoded_systematic_prefix_matches_source(lr_params, image, keypair, puzzle):
+    pre = LRSelugePreprocessor(lr_params, keypair, puzzle).build(image)
+    for unit in pre.units[2:]:
+        for j in range(lr_params.k):
+            assert unit.packets[j].payload == unit.source_blocks[j]
+
+
+def test_lr_merkle_paths_on_page0(lr_params, image, keypair, puzzle):
+    pre = LRSelugePreprocessor(lr_params, keypair, puzzle).build(image)
+    assert len(pre.units[1].packets) == lr_params.n0
+    for pkt in pre.units[1].packets:
+        assert verify_merkle_path(pkt.canonical_bytes(), pkt.index,
+                                  pkt.auth_path, pre.merkle_root)
+
+
+def test_lr_image_recoverable_from_sources(lr_params, image, keypair, puzzle):
+    p = lr_params
+    pre = LRSelugePreprocessor(p, keypair, puzzle).build(image)
+    pages = pre.units[2:]
+    parts = []
+    for unit in pages[:-1]:
+        parts.append(b"".join(unit.source_blocks)[: p.page_capacity])
+    parts.append(b"".join(pages[-1].source_blocks))
+    assert b"".join(parts)[: image.size] == image.data
+
+
+def test_lr_signature_covers_root_and_metadata(lr_params, image, keypair, puzzle):
+    pre = LRSelugePreprocessor(lr_params, keypair, puzzle).build(image)
+    sp = pre.signature_packet
+    sig = EcdsaSignature.from_bytes(sp.signature)
+    assert verify(sp.root + sp.metadata, sig, keypair.public)
+    assert sp.root == pre.merkle_root
+
+
+def test_lr_packet_sizes(lr_params, image, keypair, puzzle):
+    pre = LRSelugePreprocessor(lr_params, keypair, puzzle).build(image)
+    wire = lr_params.wire
+    assert pre.units[0].packet_size == wire.signature_packet_size()
+    import math
+    depth = int(math.log2(lr_params.n0))
+    assert pre.units[1].packet_size == wire.data_packet_size(wire.data_payload, depth)
+    assert pre.units[2].packet_size == wire.data_packet_size(wire.data_payload)
+
+
+def test_lr_data_packet_count(lr_params, image, keypair, puzzle):
+    pre = LRSelugePreprocessor(lr_params, keypair, puzzle).build(image)
+    g = lr_params.num_pages()
+    assert pre.data_packet_count() == lr_params.n0 + g * lr_params.n

@@ -1,0 +1,79 @@
+"""Unit tests for the overheard-packet validation gate.
+
+Protocol timers react only to authentic traffic; this is the cheap check
+that decides authenticity for packets of units a node is not collecting.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.packets import DataPacket
+from repro.core.preprocess import LRSelugePreprocessor
+from repro.core.verify import DelugeReceiver, LRSelugeReceiver
+
+
+@pytest.fixture
+def armed(lr_params, small_image, keypair, puzzle):
+    pre = LRSelugePreprocessor(lr_params, keypair, puzzle).build(small_image)
+    rx = LRSelugeReceiver(lr_params, keypair.public, puzzle)
+    assert rx.handle_signature(pre.signature_packet)
+    unit1 = pre.units[1]
+    got = {}
+    for pkt in unit1.packets[: unit1.threshold]:
+        assert rx.authenticate(pkt)
+        got[pkt.index] = pkt
+    assert rx.complete_unit(1, got)
+    return rx, pre
+
+
+def test_expected_unit_packets_validate(armed):
+    rx, pre = armed
+    genuine = pre.units[2].packets[5]
+    assert rx.validate_overheard(genuine)
+
+
+def test_forged_expected_unit_packets_fail(armed):
+    rx, pre = armed
+    genuine = pre.units[2].packets[5]
+    forged = dataclasses.replace(genuine, payload=bytes(len(genuine.payload)))
+    assert not rx.validate_overheard(forged)
+
+
+def test_page0_packets_validate_via_merkle(armed):
+    rx, pre = armed
+    genuine = pre.units[1].packets[0]
+    assert rx.validate_overheard(genuine)
+    forged = dataclasses.replace(genuine, payload=bytes(len(genuine.payload)))
+    assert not rx.validate_overheard(forged)
+
+
+def test_future_unit_packets_cannot_validate(armed):
+    """No expectations for unit 4 yet: unverifiable, so not authentic."""
+    rx, pre = armed
+    assert not rx.validate_overheard(pre.units[4].packets[0])
+
+
+def test_completed_unit_packets_validate_by_comparison(armed):
+    rx, pre = armed
+    # Complete unit 2 so it becomes servable, then validate its packets.
+    unit2 = pre.units[2]
+    got = {}
+    for pkt in unit2.packets[: unit2.threshold]:
+        assert rx.authenticate(pkt)
+        got[pkt.index] = pkt
+    assert rx.complete_unit(2, got)
+    rx.serving_packets(2)  # materialise the serving set
+    genuine = unit2.packets[0]
+    # unit 2's expectations are still present, so the chain check handles
+    # it; drop them to exercise the serving-comparison fallback.
+    rx.expected.pop(2, None)
+    assert rx.validate_overheard(genuine)
+    forged = dataclasses.replace(genuine, payload=bytes(len(genuine.payload)))
+    assert not rx.validate_overheard(forged)
+
+
+def test_insecure_receiver_accepts_everything(deluge_params):
+    rx = DelugeReceiver(deluge_params)
+    junk = DataPacket(version=9, unit=3, index=1, payload=b"junk")
+    assert rx.validate_overheard(junk)

@@ -1,0 +1,181 @@
+"""Unit tests for the receiver pipelines (Section IV-E verification)."""
+
+import random
+
+import pytest
+
+from repro.core.packets import DataPacket, SignaturePacket
+from repro.core.preprocess import DelugePreprocessor, LRSelugePreprocessor, SelugePreprocessor
+from repro.core.verify import DelugeReceiver, LRSelugeReceiver, SelugeReceiver
+from repro.errors import ProtocolError
+
+
+@pytest.fixture
+def lr_pre(lr_params, small_image, keypair, puzzle):
+    return LRSelugePreprocessor(lr_params, keypair, puzzle).build(small_image)
+
+
+@pytest.fixture
+def seluge_pre(seluge_params, small_image, keypair, puzzle):
+    return SelugePreprocessor(seluge_params, keypair, puzzle).build(small_image)
+
+
+@pytest.fixture
+def lr_rx(lr_params, keypair, puzzle):
+    return LRSelugeReceiver(lr_params, keypair.public, puzzle)
+
+
+def _feed_unit(rx, unit, subset=None):
+    packets = unit.packets if subset is None else subset
+    got = {}
+    for pkt in packets:
+        assert rx.authenticate(pkt)
+        got[pkt.index] = pkt
+    return rx.complete_unit(unit.index, got)
+
+
+def test_lr_full_image_roundtrip_random_subsets(lr_pre, lr_rx, small_image):
+    assert lr_rx.handle_signature(lr_pre.signature_packet)
+    rnd = random.Random(3)
+    for unit in lr_pre.units[1:]:
+        subset = rnd.sample(unit.packets, unit.threshold)
+        assert _feed_unit(lr_rx, unit, subset)
+    assert lr_rx.assembled_image() == small_image.data
+
+
+def test_lr_serving_packets_match_base_station(lr_pre, lr_rx):
+    lr_rx.handle_signature(lr_pre.signature_packet)
+    rnd = random.Random(5)
+    for unit in lr_pre.units[1:]:
+        _feed_unit(lr_rx, unit, rnd.sample(unit.packets, unit.threshold))
+    for unit in lr_pre.units[1:]:
+        assert lr_rx.serving_packets(unit.index) == unit.packets
+
+
+def test_lr_rejects_data_before_signature(lr_pre, lr_rx):
+    pkt = lr_pre.units[1].packets[0]
+    assert not lr_rx.authenticate(pkt)
+    assert lr_rx.stats["rejected_no_root"] == 1
+
+
+def test_lr_rejects_packets_for_future_units(lr_pre, lr_rx):
+    lr_rx.handle_signature(lr_pre.signature_packet)
+    pkt = lr_pre.units[3].packets[0]  # expectations for unit 3 not yet known
+    assert not lr_rx.authenticate(pkt)
+    assert lr_rx.stats["rejected_no_expectation"] == 1
+
+
+def test_lr_rejects_tampered_packet(lr_pre, lr_rx):
+    lr_rx.handle_signature(lr_pre.signature_packet)
+    _feed_unit(lr_rx, lr_pre.units[1])
+    real = lr_pre.units[2].packets[0]
+    forged = DataPacket(version=real.version, unit=real.unit, index=real.index,
+                        payload=bytes(len(real.payload)))
+    assert not lr_rx.authenticate(forged)
+    assert lr_rx.stats["rejected_packets"] >= 1
+    assert lr_rx.authenticate(real)
+
+
+def test_lr_rejects_wrong_index_replay(lr_pre, lr_rx):
+    """A valid packet presented under a different index must fail."""
+    lr_rx.handle_signature(lr_pre.signature_packet)
+    _feed_unit(lr_rx, lr_pre.units[1])
+    real = lr_pre.units[2].packets[0]
+    moved = DataPacket(version=real.version, unit=real.unit, index=1,
+                       payload=real.payload)
+    assert not lr_rx.authenticate(moved)
+
+
+def test_lr_signature_rejections(lr_pre, lr_rx, keypair):
+    good = lr_pre.signature_packet
+    # Bad puzzle
+    no_puzzle = SignaturePacket(version=good.version, root=good.root,
+                                metadata=good.metadata, signature=good.signature,
+                                puzzle=None)
+    assert not lr_rx.handle_signature(no_puzzle)
+    assert lr_rx.stats["puzzle_rejects"] == 1
+    assert lr_rx.stats["signature_verifications"] == 0  # puzzle filtered first
+    # Valid puzzle is bound to the signature bytes, so tampering the
+    # signature also invalidates the puzzle (flood-resistance).
+    bad_sig = SignaturePacket(version=good.version, root=good.root,
+                              metadata=good.metadata, signature=bytes(48),
+                              puzzle=good.puzzle)
+    assert not lr_rx.handle_signature(bad_sig)
+    assert lr_rx.handle_signature(good)
+
+
+def test_lr_decode_not_attempted_below_threshold(lr_pre, lr_rx):
+    lr_rx.handle_signature(lr_pre.signature_packet)
+    unit = lr_pre.units[1]
+    got = {p.index: p for p in unit.packets[: unit.threshold - 1]}
+    assert not lr_rx.complete_unit(unit.index, got)
+
+
+def test_lr_serving_unavailable_unit(lr_rx):
+    with pytest.raises(ProtocolError):
+        lr_rx.serving_packets(2)
+
+
+def test_lr_stats_counters(lr_pre, lr_rx):
+    lr_rx.handle_signature(lr_pre.signature_packet)
+    _feed_unit(lr_rx, lr_pre.units[1])
+    _feed_unit(lr_rx, lr_pre.units[2])
+    assert lr_rx.stats["signature_verifications"] == 1
+    assert lr_rx.stats["merkle_checks"] == lr_pre.units[1].n_packets
+    assert lr_rx.stats["hash_checks"] == lr_pre.units[2].n_packets
+    assert lr_rx.stats["decode_ops"] == 2
+
+
+def test_seluge_roundtrip_and_serving(seluge_pre, seluge_params, keypair, puzzle, small_image):
+    rx = SelugeReceiver(seluge_params, keypair.public, puzzle)
+    assert rx.handle_signature(seluge_pre.signature_packet)
+    for unit in seluge_pre.units[1:]:
+        assert _feed_unit(rx, unit)
+    assert rx.assembled_image() == small_image.data
+    for unit in seluge_pre.units[1:]:
+        assert rx.serving_packets(unit.index) == unit.packets
+
+
+def test_seluge_rejects_forged_hash_page_packet(seluge_pre, seluge_params, keypair, puzzle):
+    rx = SelugeReceiver(seluge_params, keypair.public, puzzle)
+    rx.handle_signature(seluge_pre.signature_packet)
+    real = seluge_pre.units[1].packets[0]
+    forged = DataPacket(version=real.version, unit=1, index=0,
+                        payload=bytes(len(real.payload)), auth_path=real.auth_path)
+    assert not rx.authenticate(forged)
+
+
+def test_seluge_incomplete_page_not_completed(seluge_pre, seluge_params, keypair, puzzle):
+    rx = SelugeReceiver(seluge_params, keypair.public, puzzle)
+    rx.handle_signature(seluge_pre.signature_packet)
+    _feed_unit(rx, seluge_pre.units[1])
+    unit = seluge_pre.units[2]
+    got = {p.index: p for p in unit.packets[:-1]}
+    assert not rx.complete_unit(unit.index, got)
+
+
+def test_deluge_accepts_anything(deluge_params):
+    rx = DelugeReceiver(deluge_params)
+    assert rx.authenticate(DataPacket(version=9, unit=0, index=0, payload=b"junk"))
+    assert not rx.secured
+
+
+def test_deluge_learn_total_units_once(deluge_params):
+    rx = DelugeReceiver(deluge_params)
+    rx.learn_total_units(6)
+    rx.learn_total_units(99)
+    assert rx.total_units == 6
+
+
+def test_deluge_has_no_signature_path(deluge_params):
+    rx = DelugeReceiver(deluge_params)
+    with pytest.raises(ProtocolError):
+        rx.handle_signature(None)
+
+
+def test_preload_marks_everything_servable(lr_pre, lr_params, keypair, puzzle):
+    rx = LRSelugeReceiver(lr_params, keypair.public, puzzle)
+    rx.preload(lr_pre)
+    assert rx.total_units == lr_pre.total_units
+    for unit in lr_pre.units[1:]:
+        assert rx.serving_packets(unit.index) == unit.packets

@@ -1,0 +1,143 @@
+"""Wire-serialization tests, including consistency with WireFormat sizing."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import WireFormat
+from repro.core.packets import Advertisement, DataPacket, SignaturePacket, SnackRequest
+from repro.core.wire import (
+    decode_adv,
+    decode_data,
+    decode_signature,
+    decode_snack,
+    encode_adv,
+    encode_data,
+    encode_signature,
+    encode_snack,
+)
+from repro.crypto.puzzle import PuzzleSolution
+from repro.errors import ProtocolError
+
+WIRE = WireFormat()
+
+
+def test_data_roundtrip():
+    pkt = DataPacket(version=2, unit=3, index=7, payload=b"p" * 72)
+    assert decode_data(encode_data(pkt, WIRE), WIRE) == pkt
+
+
+def test_data_roundtrip_with_auth_path():
+    pkt = DataPacket(version=2, unit=1, index=3, payload=b"p" * 72,
+                     auth_path=(b"a" * 8, b"b" * 8, b"c" * 8))
+    assert decode_data(encode_data(pkt, WIRE), WIRE) == pkt
+
+
+def test_data_wrong_hash_len_rejected():
+    pkt = DataPacket(version=2, unit=1, index=3, payload=b"p" * 8,
+                     auth_path=(b"short",))
+    with pytest.raises(ProtocolError):
+        encode_data(pkt, WIRE)
+
+
+def test_data_truncation_detected():
+    pkt = DataPacket(version=2, unit=3, index=7, payload=b"p" * 72)
+    raw = encode_data(pkt, WIRE)
+    with pytest.raises(ProtocolError):
+        decode_data(raw[: len(raw) - 40], WIRE)
+
+
+def test_snack_roundtrip():
+    req = SnackRequest(version=2, unit=4, requester=9, server=0,
+                       needed=(0, 5, 31, 47), mac=b"\x01\x02\x03\x04")
+    decoded, n = decode_snack(encode_snack(req, 48, WIRE), WIRE)
+    assert decoded == req
+    assert n == 48
+
+
+def test_snack_out_of_range_index_rejected():
+    req = SnackRequest(version=2, unit=4, requester=9, server=0, needed=(48,))
+    with pytest.raises(ProtocolError):
+        encode_snack(req, 48, WIRE)
+
+
+def test_adv_roundtrip():
+    adv = Advertisement(version=2, units_complete=5, total_units=13,
+                        mac=b"\x09\x08\x07\x06")
+    assert decode_adv(encode_adv(adv, WIRE), WIRE) == adv
+
+
+def test_signature_roundtrip():
+    sp = SignaturePacket(
+        version=2, root=b"r" * 8, metadata=b"m" * 13, signature=b"s" * 48,
+        puzzle=PuzzleSolution(key=b"k" * 8, solution=1234, difficulty=10),
+    )
+    decoded = decode_signature(encode_signature(sp, WIRE), WIRE, puzzle_difficulty=10)
+    assert decoded == sp
+
+
+def test_wrong_frame_type_rejected():
+    adv = Advertisement(version=2, units_complete=5, total_units=13)
+    raw = encode_adv(adv, WIRE)
+    with pytest.raises(ProtocolError):
+        decode_data(raw, WIRE)
+    with pytest.raises(ProtocolError):
+        decode_snack(raw, WIRE)
+
+
+# -- size-accounting consistency ------------------------------------------------
+
+
+def test_data_size_matches_wire_format():
+    """Serialized frames must not exceed the WireFormat byte accounting.
+
+    The WireFormat header budget (11 B) covers preamble-adjacent fields the
+    codec does not emit (CRC, addressing); the codec's own overhead must fit
+    inside it.
+    """
+    pkt = DataPacket(version=2, unit=3, index=7, payload=b"p" * 72)
+    assert len(encode_data(pkt, WIRE)) <= WIRE.data_packet_size(72)
+    path = tuple(bytes(8) for _ in range(3))
+    pkt0 = dataclasses.replace(pkt, auth_path=path)
+    assert len(encode_data(pkt0, WIRE)) <= WIRE.data_packet_size(72, 3)
+
+
+def test_snack_size_matches_wire_format():
+    req = SnackRequest(version=2, unit=4, requester=9, server=0,
+                       needed=tuple(range(48)), mac=b"\x00" * 4)
+    assert len(encode_snack(req, 48, WIRE)) <= WIRE.snack_size(48)
+
+
+def test_adv_size_matches_wire_format():
+    adv = Advertisement(version=2, units_complete=5, total_units=13)
+    assert len(encode_adv(adv, WIRE)) <= WIRE.adv_size()
+
+
+def test_signature_size_matches_wire_format():
+    sp = SignaturePacket(
+        version=2, root=b"r" * 8, metadata=b"m" * 13, signature=b"s" * 48,
+        puzzle=PuzzleSolution(key=b"k" * 8, solution=7, difficulty=10),
+    )
+    assert len(encode_signature(sp, WIRE)) <= WIRE.signature_packet_size()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=65535),
+    st.integers(min_value=0, max_value=65535),
+    st.integers(min_value=0, max_value=65535),
+    st.binary(min_size=1, max_size=128),
+)
+def test_property_data_roundtrip(version, unit, index, payload):
+    pkt = DataPacket(version=version, unit=unit, index=index, payload=payload)
+    assert decode_data(encode_data(pkt, WIRE), WIRE) == pkt
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.sets(st.integers(min_value=0, max_value=47), max_size=48))
+def test_property_snack_bitvector_roundtrip(needed):
+    req = SnackRequest(version=1, unit=2, requester=3, server=4,
+                       needed=tuple(sorted(needed)), mac=b"\x00" * 4)
+    decoded, _ = decode_snack(encode_snack(req, 48, WIRE), WIRE)
+    assert decoded.needed == req.needed

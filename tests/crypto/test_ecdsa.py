@@ -1,0 +1,93 @@
+"""Unit tests for the pure-Python ECDSA over NIST P-192."""
+
+import pytest
+
+from repro.crypto.ecdsa import (
+    P192,
+    EcdsaSignature,
+    _base_point,
+    _jac_add,
+    _jac_double,
+    _jac_mul,
+    _to_affine,
+    generate_keypair,
+    sign,
+    verify,
+)
+from repro.errors import AuthenticationError
+
+
+def test_base_point_on_curve():
+    x, y = P192.gx, P192.gy
+    assert (y * y - (x * x * x + P192.a * x + P192.b)) % P192.p == 0
+
+
+def test_scalar_multiples_stay_on_curve():
+    for k in (2, 3, 7, 12345):
+        pt = _to_affine(_jac_mul(k, _base_point(P192), P192), P192)
+        x, y = pt
+        assert (y * y - (x * x * x + P192.a * x + P192.b)) % P192.p == 0
+
+
+def test_order_times_g_is_infinity():
+    assert _to_affine(_jac_mul(P192.order, _base_point(P192), P192), P192) is None
+
+
+def test_point_addition_consistency():
+    g = _base_point(P192)
+    two_g = _jac_double(g, P192)
+    three_g_a = _jac_add(two_g, g, P192)
+    three_g_b = _jac_mul(3, g, P192)
+    assert _to_affine(three_g_a, P192) == _to_affine(three_g_b, P192)
+
+
+def test_keypair_deterministic_from_seed():
+    a = generate_keypair(7)
+    b = generate_keypair(7)
+    c = generate_keypair(8)
+    assert a.private == b.private and a.public == b.public
+    assert a.private != c.private
+
+
+def test_sign_verify_roundtrip():
+    kp = generate_keypair(1)
+    sig = sign(b"merkle-root||metadata", kp)
+    assert verify(b"merkle-root||metadata", sig, kp.public)
+
+
+def test_signature_deterministic():
+    kp = generate_keypair(1)
+    assert sign(b"m", kp) == sign(b"m", kp)
+    assert sign(b"m", kp) != sign(b"m2", kp)
+
+
+def test_tampered_message_rejected():
+    kp = generate_keypair(2)
+    sig = sign(b"original", kp)
+    assert not verify(b"0riginal", sig, kp.public)
+
+
+def test_wrong_key_rejected():
+    kp1, kp2 = generate_keypair(3), generate_keypair(4)
+    sig = sign(b"msg", kp1)
+    assert not verify(b"msg", sig, kp2.public)
+
+
+def test_degenerate_signature_values_rejected():
+    kp = generate_keypair(5)
+    assert not verify(b"msg", EcdsaSignature(0, 1), kp.public)
+    assert not verify(b"msg", EcdsaSignature(1, 0), kp.public)
+    assert not verify(b"msg", EcdsaSignature(P192.order, 1), kp.public)
+
+
+def test_signature_serialization_roundtrip():
+    kp = generate_keypair(6)
+    sig = sign(b"data", kp)
+    raw = sig.to_bytes()
+    assert len(raw) == 2 * P192.byte_len == 48
+    assert EcdsaSignature.from_bytes(raw) == sig
+
+
+def test_signature_wrong_length_rejected():
+    with pytest.raises(AuthenticationError):
+        EcdsaSignature.from_bytes(b"\x00" * 47)

@@ -1,0 +1,46 @@
+"""Unit and property tests for hash images."""
+
+import hashlib
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.hashing import DEFAULT_HASH_LEN, full_hash, hash_image
+from repro.errors import ConfigError
+
+
+def test_default_length():
+    assert len(hash_image(b"data")) == DEFAULT_HASH_LEN
+
+
+def test_explicit_lengths():
+    for length in (4, 8, 16, 32):
+        assert len(hash_image(b"data", length)) == length
+
+
+def test_out_of_range_lengths_rejected():
+    for bad in (0, 3, 33, -1):
+        with pytest.raises(ConfigError):
+            hash_image(b"data", bad)
+
+
+def test_deterministic():
+    assert hash_image(b"abc") == hash_image(b"abc")
+
+
+def test_different_inputs_differ():
+    assert hash_image(b"abc") != hash_image(b"abd")
+
+
+def test_full_hash_is_sha256():
+    assert full_hash(b"xyz") == hashlib.sha256(b"xyz").digest()
+
+
+@given(st.binary(max_size=256), st.integers(min_value=4, max_value=32))
+def test_hash_image_is_sha256_prefix(data, length):
+    assert hash_image(data, length) == hashlib.sha256(data).digest()[:length]
+
+
+@given(st.binary(max_size=128))
+def test_truncation_nests(data):
+    assert hash_image(data, 8) == hash_image(data, 16)[:8]

@@ -1,0 +1,70 @@
+"""Unit tests for the one-way key chain."""
+
+import pytest
+
+from repro.crypto.keychain import KeyChain, require_chain_key, verify_chain_key
+from repro.errors import AuthenticationError, ConfigError
+
+
+def test_every_version_verifies_against_commitment():
+    chain = KeyChain(length=10, seed=3)
+    for version in range(1, 11):
+        key = chain.key_for_version(version)
+        assert verify_chain_key(key, version, chain.commitment)
+
+
+def test_wrong_version_fails():
+    chain = KeyChain(length=10, seed=3)
+    key = chain.key_for_version(4)
+    assert not verify_chain_key(key, 5, chain.commitment)
+    assert not verify_chain_key(key, 3, chain.commitment)
+
+
+def test_forged_key_fails():
+    chain = KeyChain(length=10, seed=3)
+    assert not verify_chain_key(b"\x00" * 8, 4, chain.commitment)
+
+
+def test_future_keys_unpredictable_from_past():
+    """Knowing K_v gives the adversary all earlier keys but no later ones."""
+    chain = KeyChain(length=10, seed=3)
+    from repro.crypto.keychain import _advance
+
+    k4 = chain.key_for_version(4)
+    assert _advance(k4) == chain.key_for_version(3)  # backward: easy
+    assert chain.key_for_version(5) != k4            # forward: unknown hash preimage
+
+
+def test_deterministic_per_seed():
+    assert KeyChain(8, seed=1).commitment == KeyChain(8, seed=1).commitment
+    assert KeyChain(8, seed=1).commitment != KeyChain(8, seed=2).commitment
+
+
+def test_bounds():
+    chain = KeyChain(length=5, seed=1)
+    with pytest.raises(ConfigError):
+        chain.key_for_version(0)
+    with pytest.raises(ConfigError):
+        chain.key_for_version(6)
+    with pytest.raises(ConfigError):
+        KeyChain(length=0)
+    assert not verify_chain_key(b"\x00" * 8, 0, chain.commitment)
+
+
+def test_require_raises():
+    chain = KeyChain(length=5, seed=1)
+    require_chain_key(chain.key_for_version(2), 2, chain.commitment)
+    with pytest.raises(AuthenticationError):
+        require_chain_key(b"\x00" * 8, 2, chain.commitment)
+
+
+def test_puzzle_integration():
+    """Chain keys slot directly into the message-specific puzzle."""
+    from repro.crypto.puzzle import MessageSpecificPuzzle
+
+    chain = KeyChain(length=3, seed=9)
+    puzzle = MessageSpecificPuzzle(difficulty=6)
+    key = chain.key_for_version(2)
+    solution = puzzle.solve(b"sig-packet-v2", key)
+    assert puzzle.check(b"sig-packet-v2", solution)
+    assert verify_chain_key(solution.key, 2, chain.commitment)

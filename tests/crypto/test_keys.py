@@ -1,0 +1,55 @@
+"""Unit tests for cluster keys (HMAC control-packet authentication)."""
+
+import pytest
+
+from repro.crypto.keys import ClusterKey
+from repro.errors import ConfigError
+
+
+def test_tag_and_check():
+    key = ClusterKey(b"shared-secret-123")
+    tag = key.tag(b"snack|page=3|bits=0110")
+    assert len(tag) == 4
+    assert key.check(b"snack|page=3|bits=0110", tag)
+
+
+def test_tampered_payload_rejected():
+    key = ClusterKey(b"shared-secret-123")
+    tag = key.tag(b"payload")
+    assert not key.check(b"payl0ad", tag)
+
+
+def test_wrong_key_rejected():
+    a = ClusterKey(b"secret-aaaaaaaa")
+    b = ClusterKey(b"secret-bbbbbbbb")
+    assert not b.check(b"payload", a.tag(b"payload"))
+
+
+def test_mac_len_respected():
+    key = ClusterKey(b"shared-secret-123", mac_len=8)
+    assert len(key.tag(b"x")) == 8
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        ClusterKey(b"short")
+    with pytest.raises(ConfigError):
+        ClusterKey(b"long-enough-secret", mac_len=2)
+    with pytest.raises(ConfigError):
+        ClusterKey(b"long-enough-secret", mac_len=64)
+
+
+def test_pairwise_keys_symmetric():
+    cluster = ClusterKey(b"cluster-secret-99")
+    ab = cluster.pairwise(3, 7)
+    ba = cluster.pairwise(7, 3)
+    payload = b"snack-from-3"
+    assert ba.check(payload, ab.tag(payload))
+
+
+def test_pairwise_keys_distinct_per_pair():
+    cluster = ClusterKey(b"cluster-secret-99")
+    ab = cluster.pairwise(3, 7)
+    ac = cluster.pairwise(3, 8)
+    payload = b"snack"
+    assert not ac.check(payload, ab.tag(payload))

@@ -1,0 +1,106 @@
+"""Unit and property tests for the Merkle hash tree."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.hashing import hash_image
+from repro.crypto.merkle import MerkleTree, require_valid_merkle_path, verify_merkle_path
+from repro.errors import AuthenticationError, ConfigError
+
+
+def _leaves(n, size=20):
+    return [bytes([i]) * size for i in range(n)]
+
+
+def test_single_leaf_tree():
+    tree = MerkleTree(_leaves(1))
+    assert tree.depth == 0
+    assert tree.root == hash_image(_leaves(1)[0])
+    assert tree.auth_path(0) == []
+    assert verify_merkle_path(_leaves(1)[0], 0, [], tree.root)
+
+
+def test_non_power_of_two_rejected():
+    for bad in (0, 3, 5, 6, 7, 9):
+        with pytest.raises(ConfigError):
+            MerkleTree(_leaves(bad) if bad else [])
+
+
+def test_depth_matches_log2():
+    for n, d in ((2, 1), (4, 2), (8, 3), (16, 4)):
+        assert MerkleTree(_leaves(n)).depth == d
+
+
+def test_all_leaves_verify():
+    leaves = _leaves(8)
+    tree = MerkleTree(leaves)
+    for i, leaf in enumerate(leaves):
+        path = tree.auth_path(i)
+        assert len(path) == 3
+        assert verify_merkle_path(leaf, i, path, tree.root)
+
+
+def test_paper_fig2_structure():
+    """The internal nodes combine exactly as in the paper's Fig. 2."""
+    leaves = _leaves(8)
+    tree = MerkleTree(leaves)
+    v = [hash_image(l) for l in leaves]
+    v12 = hash_image(v[0] + v[1])
+    v34 = hash_image(v[2] + v[3])
+    v14 = hash_image(v12 + v34)
+    assert tree.levels[1][0] == v12
+    assert tree.levels[2][0] == v14
+    # P_{0,2}'s auth path (index 1): sibling v1, then v3-4, then v5-8.
+    path = tree.auth_path(1)
+    assert path[0] == v[0]
+    assert path[1] == v34
+    assert path[2] == tree.levels[2][1]
+
+
+def test_wrong_leaf_rejected():
+    leaves = _leaves(8)
+    tree = MerkleTree(leaves)
+    assert not verify_merkle_path(b"forged" * 4, 3, tree.auth_path(3), tree.root)
+
+
+def test_wrong_index_rejected():
+    leaves = _leaves(8)
+    tree = MerkleTree(leaves)
+    assert not verify_merkle_path(leaves[3], 2, tree.auth_path(3), tree.root)
+
+
+def test_tampered_path_rejected():
+    leaves = _leaves(8)
+    tree = MerkleTree(leaves)
+    path = tree.auth_path(3)
+    path[1] = bytes(len(path[1]))
+    assert not verify_merkle_path(leaves[3], 3, path, tree.root)
+
+
+def test_path_index_bounds():
+    tree = MerkleTree(_leaves(4))
+    with pytest.raises(ConfigError):
+        tree.auth_path(4)
+    with pytest.raises(ConfigError):
+        tree.auth_path(-1)
+
+
+def test_require_valid_raises():
+    tree = MerkleTree(_leaves(4))
+    require_valid_merkle_path(_leaves(4)[0], 0, tree.auth_path(0), tree.root)
+    with pytest.raises(AuthenticationError):
+        require_valid_merkle_path(b"bogus", 0, tree.auth_path(0), tree.root)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=4),
+    st.binary(min_size=1, max_size=64),
+)
+def test_property_every_leaf_verifies_and_forgeries_fail(log_n, salt):
+    n = 2 ** log_n
+    leaves = [salt + bytes([i]) for i in range(n)]
+    tree = MerkleTree(leaves)
+    for i in range(n):
+        assert verify_merkle_path(leaves[i], i, tree.auth_path(i), tree.root)
+        assert not verify_merkle_path(leaves[i] + b"x", i, tree.auth_path(i), tree.root)

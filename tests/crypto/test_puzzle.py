@@ -1,0 +1,60 @@
+"""Unit tests for message-specific puzzles."""
+
+import pytest
+
+from repro.crypto.puzzle import MessageSpecificPuzzle, PuzzleSolution
+from repro.errors import ConfigError
+
+
+def test_solve_then_check():
+    puzzle = MessageSpecificPuzzle(difficulty=8)
+    solution = puzzle.solve(b"sig-packet", b"key-0001")
+    assert puzzle.check(b"sig-packet", solution)
+
+
+def test_wrong_message_rejected():
+    puzzle = MessageSpecificPuzzle(difficulty=8)
+    solution = puzzle.solve(b"legit", b"key-0001")
+    assert not puzzle.check(b"forged", solution)
+
+
+def test_wrong_key_rejected():
+    puzzle = MessageSpecificPuzzle(difficulty=8)
+    solution = puzzle.solve(b"msg", b"key-0001")
+    tampered = PuzzleSolution(key=b"key-0002", solution=solution.solution,
+                              difficulty=solution.difficulty)
+    assert not puzzle.check(b"msg", tampered)
+
+
+def test_difficulty_mismatch_rejected():
+    puzzle8 = MessageSpecificPuzzle(difficulty=8)
+    puzzle6 = MessageSpecificPuzzle(difficulty=6)
+    solution = puzzle6.solve(b"msg", b"key-0001")
+    assert not puzzle8.check(b"msg", solution)
+
+
+def test_invalid_difficulty():
+    for bad in (0, -1, 29):
+        with pytest.raises(ConfigError):
+            MessageSpecificPuzzle(difficulty=bad)
+
+
+def test_expected_work_doubles():
+    assert MessageSpecificPuzzle(difficulty=5).expected_work() == 32
+    assert MessageSpecificPuzzle(difficulty=6).expected_work() == 64
+
+
+def test_wire_size():
+    puzzle = MessageSpecificPuzzle(difficulty=6, key_len=8)
+    solution = puzzle.solve(b"m", b"k" * 8)
+    assert solution.wire_size == 12
+
+
+def test_random_guess_rarely_valid():
+    """A forged solution without search work should almost surely fail."""
+    puzzle = MessageSpecificPuzzle(difficulty=12)
+    hits = sum(
+        puzzle.check(b"msg", PuzzleSolution(key=b"forgedkk", solution=s, difficulty=12))
+        for s in range(64)
+    )
+    assert hits <= 1  # expected 64 / 4096

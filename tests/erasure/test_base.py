@@ -1,0 +1,64 @@
+"""Unit tests for the erasure-code contract and helpers."""
+
+import numpy as np
+import pytest
+
+from repro.erasure.base import array_to_blocks, blocks_to_array, make_code
+from repro.erasure.rlc import RandomLinearCode
+from repro.erasure.rs import ReedSolomonCode
+from repro.errors import CodingError
+
+
+def test_blocks_array_roundtrip():
+    blocks = [b"abcd", b"efgh", b"ijkl"]
+    arr = blocks_to_array(blocks)
+    assert arr.shape == (3, 4)
+    assert array_to_blocks(arr) == blocks
+
+
+def test_blocks_to_array_rejects_empty():
+    with pytest.raises(CodingError):
+        blocks_to_array([])
+
+
+def test_blocks_to_array_rejects_ragged():
+    with pytest.raises(CodingError):
+        blocks_to_array([b"abcd", b"ef"])
+
+
+def test_factory_rs():
+    code = make_code("rs", 8, 12)
+    assert isinstance(code, ReedSolomonCode)
+    assert (code.k, code.n, code.kprime) == (8, 12, 8)
+
+
+def test_factory_rs_with_declared_overhead():
+    code = make_code("rs", 8, 12, kprime=10)
+    assert code.kprime == 10
+
+
+def test_factory_rlc_default_overhead():
+    code = make_code("rlc", 8, 12, seed=5)
+    assert isinstance(code, RandomLinearCode)
+    assert code.kprime == 10
+
+
+def test_factory_unknown_kind():
+    with pytest.raises(CodingError):
+        make_code("fountain", 8, 12)
+
+
+def test_contract_validation():
+    with pytest.raises(CodingError):
+        make_code("rs", 0, 4)
+    with pytest.raises(CodingError):
+        make_code("rs", 8, 4)
+    with pytest.raises(CodingError):
+        make_code("rs", 8, 12, kprime=7)  # below k
+
+
+def test_can_attempt_decode_threshold():
+    code = make_code("rs", 8, 12, kprime=9)
+    assert not code.can_attempt_decode(8)
+    assert code.can_attempt_decode(9)
+    assert code.can_attempt_decode(12)

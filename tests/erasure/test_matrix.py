@@ -1,0 +1,103 @@
+"""Unit and property tests for GF(256) linear algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.erasure.gf256 import GF256
+from repro.erasure.matrix import gf_invert, gf_rank, gf_rref, gf_solve
+from repro.errors import DecodeError
+
+
+def test_rank_identity():
+    assert gf_rank(np.eye(5, dtype=np.uint8)) == 5
+
+
+def test_rank_zero_matrix():
+    assert gf_rank(np.zeros((3, 4), dtype=np.uint8)) == 0
+
+
+def test_rank_dependent_rows():
+    a = np.array([[1, 2, 3], [2, 4, 6], [0, 0, 1]], dtype=np.uint8)
+    # Row 2 = 2 * row 1 over GF(256): 2*2=4, 2*3=6 — dependent.
+    assert gf_rank(a) == 2
+
+
+def test_invert_identity():
+    inv = gf_invert(np.eye(4, dtype=np.uint8))
+    assert np.array_equal(inv, np.eye(4, dtype=np.uint8))
+
+
+def test_invert_roundtrip():
+    rng = np.random.default_rng(7)
+    while True:
+        a = rng.integers(0, 256, size=(5, 5), dtype=np.uint8)
+        if gf_rank(a) == 5:
+            break
+    inv = gf_invert(a)
+    assert np.array_equal(GF256.matmul(a, inv), np.eye(5, dtype=np.uint8))
+
+
+def test_invert_singular_rejected():
+    a = np.array([[1, 2], [2, 4]], dtype=np.uint8)
+    with pytest.raises(DecodeError):
+        gf_invert(a)
+
+
+def test_invert_non_square_rejected():
+    with pytest.raises(DecodeError):
+        gf_invert(np.zeros((2, 3), dtype=np.uint8))
+
+
+def test_solve_exact_system():
+    rng = np.random.default_rng(3)
+    a = rng.integers(0, 256, size=(4, 4), dtype=np.uint8)
+    while gf_rank(a) < 4:
+        a = rng.integers(0, 256, size=(4, 4), dtype=np.uint8)
+    x = rng.integers(0, 256, size=(4, 16), dtype=np.uint8)
+    b = GF256.matmul(a, x)
+    solved = gf_solve(a, b)
+    assert np.array_equal(solved, x)
+
+
+def test_solve_overdetermined_consistent():
+    rng = np.random.default_rng(4)
+    a = rng.integers(0, 256, size=(6, 4), dtype=np.uint8)
+    while gf_rank(a) < 4:
+        a = rng.integers(0, 256, size=(6, 4), dtype=np.uint8)
+    x = rng.integers(0, 256, size=(4, 8), dtype=np.uint8)
+    b = GF256.matmul(a, x)
+    assert np.array_equal(gf_solve(a, b), x)
+
+
+def test_solve_rank_deficient_rejected():
+    a = np.array([[1, 2], [2, 4], [3, 6]], dtype=np.uint8)
+    b = np.zeros((3, 4), dtype=np.uint8)
+    with pytest.raises(DecodeError):
+        gf_solve(a, b)
+
+
+def test_solve_shape_mismatch_rejected():
+    with pytest.raises(DecodeError):
+        gf_solve(np.eye(3, dtype=np.uint8), np.zeros((4, 2), dtype=np.uint8))
+
+
+def test_rref_reports_rank_and_mirrors_augment():
+    a = np.array([[0, 1], [1, 0]], dtype=np.uint8)
+    aug = np.array([[10], [20]], dtype=np.uint8)
+    rref, reduced, rank = gf_rref(a, aug)
+    assert rank == 2
+    assert np.array_equal(rref, np.eye(2, dtype=np.uint8))
+    assert np.array_equal(reduced, np.array([[20], [10]], dtype=np.uint8))
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=1, max_value=6), st.integers(min_value=0, max_value=2 ** 31 - 1))
+def test_property_solve_recovers_random_systems(k, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.integers(0, 256, size=(k + 2, k), dtype=np.uint8)
+    if gf_rank(a) < k:
+        return  # rare for random matrices; nothing to assert
+    x = rng.integers(0, 256, size=(k, 4), dtype=np.uint8)
+    b = GF256.matmul(a, x)
+    assert np.array_equal(gf_solve(a, b), x)

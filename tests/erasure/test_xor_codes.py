@@ -1,0 +1,160 @@
+"""Unit and property tests for the XOR-based codes (LT, Tornado)."""
+
+import math
+import os
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.erasure.base import make_code
+from repro.erasure.lt import LTCode, robust_soliton
+from repro.erasure.tornado import TornadoCode
+from repro.erasure.xor_base import gf2_rank
+from repro.errors import CodingError, DecodeError
+
+
+def _blocks(k, size=16, seed=0):
+    rnd = random.Random(seed)
+    return [bytes(rnd.randrange(256) for _ in range(size)) for _ in range(k)]
+
+
+# -- gf2 rank ------------------------------------------------------------------
+
+
+def test_gf2_rank_basics():
+    assert gf2_rank([]) == 0
+    assert gf2_rank([0b001, 0b010, 0b100]) == 3
+    assert gf2_rank([0b011, 0b011]) == 1
+    assert gf2_rank([0b011, 0b101, 0b110]) == 2  # third = XOR of first two
+
+
+@given(st.lists(st.integers(min_value=1, max_value=2 ** 16 - 1), max_size=20))
+def test_gf2_rank_bounded(masks):
+    r = gf2_rank(masks)
+    assert 0 <= r <= min(len(masks), 16)
+
+
+# -- robust soliton -------------------------------------------------------------
+
+
+def test_robust_soliton_is_distribution():
+    for k in (1, 2, 8, 32, 100):
+        dist = robust_soliton(k)
+        assert len(dist) == k
+        assert all(p >= 0 for p in dist)
+        assert sum(dist) == pytest.approx(1.0)
+
+
+def test_robust_soliton_favours_small_degrees():
+    dist = robust_soliton(64)
+    assert dist[1] == max(dist[1:])  # degree 2 dominates beyond degree 1
+
+
+def test_robust_soliton_validation():
+    with pytest.raises(CodingError):
+        robust_soliton(0)
+
+
+# -- codes ------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("cls", [LTCode, TornadoCode])
+def test_roundtrip_from_full_set(cls):
+    code = cls(8, 16, seed=5)
+    blocks = _blocks(8)
+    encoded = code.encode(blocks)
+    assert code.decode({i: encoded[i] for i in range(16)}) == blocks
+
+
+@pytest.mark.parametrize("cls", [LTCode, TornadoCode])
+def test_roundtrip_from_decodable_subsets(cls):
+    code = cls(8, 16, seed=6)
+    blocks = _blocks(8, seed=2)
+    encoded = code.encode(blocks)
+    rnd = random.Random(7)
+    for _ in range(10):
+        order = list(range(16))
+        rnd.shuffle(order)
+        received = {}
+        for idx in order:
+            received[idx] = encoded[idx]
+            if len(received) >= 8 and code.decodable(list(received)):
+                break
+        assert code.decode(received) == blocks
+
+
+def test_tornado_is_systematic():
+    code = TornadoCode(8, 14, seed=1)
+    blocks = _blocks(8, seed=3)
+    encoded = code.encode(blocks)
+    assert encoded[:8] == blocks
+
+
+def test_masks_deterministic_across_instances():
+    a = LTCode(16, 24, seed=9, generation=4)
+    b = LTCode(16, 24, seed=9, generation=4)
+    assert [a.symbol_mask(i) for i in range(24)] == [b.symbol_mask(i) for i in range(24)]
+    ta = TornadoCode(16, 24, seed=9)
+    tb = TornadoCode(16, 24, seed=9)
+    assert [ta.symbol_mask(i) for i in range(24)] == [tb.symbol_mask(i) for i in range(24)]
+
+
+def test_generations_differ():
+    a = LTCode(16, 24, seed=9, generation=0)
+    b = LTCode(16, 24, seed=9, generation=1)
+    assert [a.symbol_mask(i) for i in range(24)] != [b.symbol_mask(i) for i in range(24)]
+
+
+@pytest.mark.parametrize("cls", [LTCode, TornadoCode])
+def test_full_symbol_set_always_spans(cls):
+    for seed in range(12):
+        code = cls(10, 14, seed=seed)
+        assert code.decodable(list(range(14))), f"seed {seed} not full rank"
+
+
+@pytest.mark.parametrize("cls", [LTCode, TornadoCode])
+def test_insufficient_symbols_rejected(cls):
+    code = cls(8, 16, seed=5)
+    encoded = code.encode(_blocks(8))
+    with pytest.raises(DecodeError):
+        code.decode({0: encoded[0]})
+
+
+def test_rank_deficient_set_rejected():
+    code = TornadoCode(8, 16, seed=5)
+    blocks = _blocks(8)
+    encoded = code.encode(blocks)
+    # Eight copies of information from only 4 systematic symbols.
+    received = {i: encoded[i] for i in range(4)}
+    received.update({i: encoded[i] for i in range(4)})
+    with pytest.raises(DecodeError):
+        code.decode(received)
+
+
+def test_declared_kprime_exceeds_k():
+    assert LTCode(32, 48).kprime > 32
+    assert TornadoCode(32, 48).kprime > 32
+
+
+def test_empirical_overhead_positive_and_reasonable():
+    tornado = TornadoCode(32, 48, seed=1)
+    overhead = tornado.empirical_overhead(trials=100)
+    assert 0.0 < overhead < 6.0
+    lt = LTCode(32, 48, seed=1)
+    assert 0.0 < lt.empirical_overhead(trials=100) < 15.0
+
+
+def test_factory_kinds():
+    assert isinstance(make_code("lt", 8, 16), LTCode)
+    assert isinstance(make_code("tornado", 8, 16), TornadoCode)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=2, max_value=12), st.integers(min_value=0, max_value=10 ** 6))
+def test_property_tornado_roundtrips(k, seed):
+    n = k + max(2, k // 2)
+    code = TornadoCode(k, n, seed=seed)
+    blocks = _blocks(k, size=8, seed=seed % 97)
+    encoded = code.encode(blocks)
+    assert code.decode({i: encoded[i] for i in range(n)}) == blocks

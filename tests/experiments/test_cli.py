@@ -1,0 +1,83 @@
+"""Tests for the command-line entry points."""
+
+import json
+
+import pytest
+
+from repro.experiments.figures import FigureResult
+from repro.simulate import main as simulate_main
+
+
+def _tiny_figure():
+    return FigureResult(
+        name="t", headers=["x", "y"], rows=[[1, 2.5], [3, 4.0]], notes="n",
+    )
+
+
+def test_figure_result_csv():
+    csv_text = _tiny_figure().to_csv()
+    lines = csv_text.strip().splitlines()
+    assert lines[0] == "x,y"
+    assert lines[1] == "1,2.5"
+
+
+def test_figure_result_json():
+    doc = json.loads(_tiny_figure().to_json())
+    assert doc["name"] == "t"
+    assert doc["rows"] == [[1, 2.5], [3, 4.0]]
+
+
+def test_figure_result_save(tmp_path):
+    fig = _tiny_figure()
+    fig.save(tmp_path / "out.csv")
+    assert (tmp_path / "out.csv").read_text().startswith("x,y")
+    fig.save(tmp_path / "out.json")
+    assert json.loads((tmp_path / "out.json").read_text())["notes"] == "n"
+
+
+def test_simulate_one_hop(capsys):
+    code = simulate_main([
+        "--protocol", "lr-seluge", "--loss", "0.1", "--receivers", "3",
+        "--image-kib", "2", "--k", "8", "--n", "12", "--seed", "4",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "completed:       True" in out
+    assert "images verified: True" in out
+
+
+def test_simulate_multihop_with_energy(capsys):
+    code = simulate_main([
+        "--protocol", "seluge", "--topology", "grid:3x3:3",
+        "--image-kib", "2", "--k", "8", "--seed", "4", "--energy",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "total_mj" in out
+
+
+def test_simulate_topology_file(tmp_path, capsys):
+    from repro.net.topology import mica2_grid_tight
+    from repro.net.topology_file import save_topology
+    from repro.sim.rng import RngRegistry
+
+    path = tmp_path / "site.txt"
+    save_topology(mica2_grid_tight(RngRegistry(5), rows=3, cols=3), path)
+    code = simulate_main([
+        "--protocol", "lr-seluge", "--topology-file", str(path),
+        "--image-kib", "2", "--k", "8", "--n", "12", "--seed", "5",
+        "--max-time", "2400", "--energy",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "crypto_mj" in out
+
+
+def test_experiments_cli_quick_with_export(tmp_path, capsys):
+    from repro.experiments.__main__ import main as experiments_main
+
+    code = experiments_main(["fig3a", "--quick", "--export", str(tmp_path)])
+    assert code == 0
+    exported = list(tmp_path.glob("*.csv"))
+    assert len(exported) == 1
+    assert exported[0].read_text().startswith("p,")

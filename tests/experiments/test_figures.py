@@ -1,0 +1,63 @@
+"""Tests for figure regeneration (tiny sizes)."""
+
+import pytest
+
+from repro.experiments import figures
+
+
+@pytest.fixture(scope="module")
+def tiny_fig3a():
+    return figures.fig3a(loss_rates=(0.1, 0.3), receivers=3,
+                         image_size=2048, seeds=(1,), k=32, n=48, kprime=34)
+
+
+def test_fig3a_structure(tiny_fig3a):
+    assert tiny_fig3a.headers == ["p", "seluge_analysis", "seluge_sim",
+                                  "ack_lr_analysis", "lr_sim"]
+    assert [row[0] for row in tiny_fig3a.rows] == [0.1, 0.3]
+    for row in tiny_fig3a.rows:
+        assert all(v > 0 for v in row[1:])
+
+
+def test_fig3a_analysis_monotone(tiny_fig3a):
+    col = tiny_fig3a.column("seluge_analysis")
+    assert col[1] > col[0]
+
+
+def test_fig3a_report_renders(tiny_fig3a):
+    text = tiny_fig3a.report()
+    assert "Fig 3(a)" in text
+    assert "seluge_analysis" in text
+
+
+def test_fig4_five_metrics_per_protocol():
+    fig = figures.fig4(loss_rates=(0.2,), receivers=3, image_size=2048, seeds=(1,))
+    assert len(fig.headers) == 1 + 5 + 5
+    assert len(fig.rows) == 1
+    row = fig.rows[0]
+    assert row[0] == 0.2
+    assert all(v > 0 for v in row[1:])
+
+
+def test_fig5_rows_per_receiver_count():
+    fig = figures.fig5(receiver_counts=(2, 4), p=0.1, image_size=2048, seeds=(1,))
+    assert [row[0] for row in fig.rows] == [2, 4]
+
+
+def test_fig6_sweeps_rate():
+    fig = figures.fig6(rates_n=(40, 48), loss_rates=(0.1,), receivers=3,
+                       image_size=2048, seeds=(1,))
+    assert [row[1] for row in fig.rows] == [40, 48]
+    assert fig.rows[0][2] == pytest.approx(40 / 32, abs=0.01)
+
+
+def test_mean_metrics_averages():
+    from repro.experiments.metrics import RunResult
+
+    a = RunResult(protocol="x", completed=True, latency=10.0,
+                  counters={"tx_data": 100, "tx_data_bytes": 1000})
+    b = RunResult(protocol="x", completed=True, latency=20.0,
+                  counters={"tx_data": 200, "tx_data_bytes": 3000})
+    means = figures.mean_metrics([a, b])
+    assert means["data_pkts"] == 150
+    assert means["latency_s"] == 15.0

@@ -1,0 +1,23 @@
+"""Tests for multi-hop table regeneration (tiny grids)."""
+
+from repro.experiments.tables import multihop_table, table2, table3
+
+
+def test_multihop_table_structure():
+    result = multihop_table("mini", topology="grid:3x3:3", image_size=2048,
+                            seeds=(1,), protocols=("seluge", "lr-seluge"))
+    assert [row[0] for row in result.rows] == ["seluge", "lr-seluge"]
+    for row in result.rows:
+        assert row[-1] == "yes"  # completed
+        assert all(v > 0 for v in row[1:-1])
+    assert "savings" in result.notes
+
+
+def test_table2_and_table3_scaled():
+    t2 = table2(image_size=2048, seeds=(1,), rows=4, cols=4)
+    t3 = table3(image_size=2048, seeds=(1,), rows=4, cols=4)
+    assert "tight" in t2.name
+    assert "medium" in t3.name
+    assert len(t2.rows) == len(t3.rows) == 2
+    assert all(row[-1] == "yes" for row in t2.rows)
+    assert all(row[-1] == "yes" for row in t3.rows)

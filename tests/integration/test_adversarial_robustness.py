@@ -1,0 +1,125 @@
+"""Fuzz/property tests: mutated packets must never authenticate.
+
+These are the adversary's best case: arbitrary bit-flips, field swaps, and
+splices of genuine traffic.  Immediate authentication (Section IV-E) means
+*every* such mutation is rejected at the verification layer.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import ImageConfig, LRSelugeParams, SelugeParams
+from repro.core.image import CodeImage
+from repro.core.packets import DataPacket
+from repro.core.preprocess import LRSelugePreprocessor, SelugePreprocessor
+from repro.core.verify import LRSelugeReceiver, SelugeReceiver
+from repro.crypto.ecdsa import generate_keypair
+from repro.crypto.puzzle import MessageSpecificPuzzle
+
+
+@pytest.fixture(scope="module")
+def lr_setup():
+    keypair = generate_keypair(11)
+    puzzle = MessageSpecificPuzzle(difficulty=6)
+    params = LRSelugeParams(k=8, n=12, image=ImageConfig(image_size=3000, version=2))
+    image = CodeImage.synthetic(3000, version=2, seed=11)
+    pre = LRSelugePreprocessor(params, keypair, puzzle).build(image)
+    return params, keypair, puzzle, pre
+
+
+def _armed_receiver(lr_setup):
+    params, keypair, puzzle, pre = lr_setup
+    rx = LRSelugeReceiver(params, keypair.public, puzzle)
+    assert rx.handle_signature(pre.signature_packet)
+    unit1 = pre.units[1]
+    got = {}
+    for pkt in unit1.packets[: unit1.threshold]:
+        assert rx.authenticate(pkt)
+        got[pkt.index] = pkt
+    assert rx.complete_unit(1, got)
+    return rx, pre
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=71),
+    st.integers(min_value=1, max_value=255),
+    st.integers(min_value=0, max_value=11),
+)
+def test_any_payload_bitflip_rejected(lr_setup, byte_pos, xor_mask, pkt_index):
+    rx, pre = _armed_receiver(lr_setup)
+    genuine = pre.units[2].packets[pkt_index]
+    payload = bytearray(genuine.payload)
+    payload[byte_pos % len(payload)] ^= xor_mask
+    mutated = dataclasses.replace(genuine, payload=bytes(payload))
+    assert not rx.authenticate(mutated)
+    assert rx.authenticate(genuine)  # the original still passes
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=11), st.integers(min_value=0, max_value=11))
+def test_index_swaps_rejected(lr_setup, a, b):
+    if a == b:
+        return
+    rx, pre = _armed_receiver(lr_setup)
+    pkt = pre.units[2].packets[a]
+    swapped = dataclasses.replace(pkt, index=b)
+    assert not rx.authenticate(swapped)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=3, max_value=9))
+def test_cross_unit_splices_rejected(lr_setup, unit):
+    """A genuine packet from a later unit replayed under unit 2 fails."""
+    rx, pre = _armed_receiver(lr_setup)
+    if unit >= pre.total_units:
+        return
+    foreign = pre.units[unit].packets[0]
+    spliced = dataclasses.replace(foreign, unit=2)
+    assert not rx.authenticate(spliced)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=1, max_value=65535))
+def test_version_confusion_rejected(lr_setup, version):
+    rx, pre = _armed_receiver(lr_setup)
+    genuine = pre.units[2].packets[0]
+    if version == genuine.version:
+        return
+    mutated = dataclasses.replace(genuine, version=version)
+    assert not rx.authenticate(mutated)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.binary(min_size=1, max_size=72))
+def test_random_garbage_rejected(lr_setup, garbage):
+    rx, pre = _armed_receiver(lr_setup)
+    for unit in (1, 2):
+        pkt = DataPacket(version=2, unit=unit, index=0, payload=garbage)
+        assert not rx.authenticate(pkt)
+
+
+def test_seluge_mutations_rejected():
+    keypair = generate_keypair(12)
+    puzzle = MessageSpecificPuzzle(difficulty=6)
+    params = SelugeParams(k=8, image=ImageConfig(image_size=3000, version=2))
+    image = CodeImage.synthetic(3000, version=2, seed=12)
+    pre = SelugePreprocessor(params, keypair, puzzle).build(image)
+    rx = SelugeReceiver(params, keypair.public, puzzle)
+    assert rx.handle_signature(pre.signature_packet)
+    got = {}
+    for pkt in pre.units[1].packets:
+        assert rx.authenticate(pkt)
+        got[pkt.index] = pkt
+    assert rx.complete_unit(1, got)
+    genuine = pre.units[2].packets[0]
+    for mutated in (
+        dataclasses.replace(genuine, payload=bytes(len(genuine.payload))),
+        dataclasses.replace(genuine, index=1),
+        dataclasses.replace(genuine, unit=3),
+        dataclasses.replace(genuine, version=9),
+    ):
+        assert not rx.authenticate(mutated)
+    assert rx.authenticate(genuine)

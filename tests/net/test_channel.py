@@ -1,0 +1,120 @@
+"""Unit tests for loss models."""
+
+import pytest
+
+from repro.net.channel import (
+    BernoulliLoss,
+    CompositeLoss,
+    GilbertElliottLoss,
+    NoLoss,
+    PerLinkLoss,
+    SyntheticNoiseTrace,
+    snr_to_prr,
+)
+from repro.net.packet import Frame, FrameKind
+from repro.sim.rng import RngRegistry
+from repro.errors import ConfigError
+
+
+def _frame():
+    return Frame(kind=FrameKind.DATA, sender=0, size_bytes=50, payload=None)
+
+
+def _drop_rate(model, trials=4000, receiver=1):
+    rngs = RngRegistry(7)
+    frame = _frame()
+    drops = sum(
+        model.should_drop(rngs, 0, receiver, frame, t * 0.01) for t in range(trials)
+    )
+    return drops / trials
+
+
+def test_no_loss():
+    assert _drop_rate(NoLoss()) == 0.0
+
+
+def test_bernoulli_zero_and_validation():
+    assert _drop_rate(BernoulliLoss(0.0)) == 0.0
+    with pytest.raises(ConfigError):
+        BernoulliLoss(1.0)
+    with pytest.raises(ConfigError):
+        BernoulliLoss(-0.1)
+
+
+def test_bernoulli_empirical_rate():
+    rate = _drop_rate(BernoulliLoss(0.3))
+    assert 0.27 < rate < 0.33
+
+
+def test_per_link_uses_directed_probabilities():
+    model = PerLinkLoss({(0, 1): 0.0, (0, 2): 1.0})
+    rngs = RngRegistry(1)
+    frame = _frame()
+    assert not model.should_drop(rngs, 0, 1, frame, 0.0)
+    assert model.should_drop(rngs, 0, 2, frame, 0.0)
+    # unknown links use the default (1.0 = always drop)
+    assert model.should_drop(rngs, 0, 3, frame, 0.0)
+
+
+def test_per_link_validation():
+    with pytest.raises(ConfigError):
+        PerLinkLoss({(0, 1): 1.5})
+
+
+def test_gilbert_elliott_mean_loss_between_states():
+    model = GilbertElliottLoss(loss_good=0.0, loss_bad=1.0, mean_good=1.0, mean_bad=1.0)
+    rate = _drop_rate(model, trials=8000)
+    assert 0.35 < rate < 0.65  # half the time in each state
+
+
+def test_gilbert_elliott_burstiness():
+    """Consecutive outcomes should be positively correlated (bursty)."""
+    model = GilbertElliottLoss(loss_good=0.01, loss_bad=0.95,
+                               mean_good=5.0, mean_bad=5.0)
+    rngs = RngRegistry(3)
+    frame = _frame()
+    outcomes = [
+        model.should_drop(rngs, 0, 1, frame, t * 0.05) for t in range(6000)
+    ]
+    same = sum(a == b for a, b in zip(outcomes, outcomes[1:]))
+    assert same / (len(outcomes) - 1) > 0.75
+
+
+def test_gilbert_elliott_validation():
+    with pytest.raises(ConfigError):
+        GilbertElliottLoss(loss_good=1.5)
+    with pytest.raises(ConfigError):
+        GilbertElliottLoss(mean_good=0.0)
+
+
+def test_composite_any_drop_wins():
+    model = CompositeLoss(NoLoss(), BernoulliLoss(0.0), PerLinkLoss({(0, 1): 1.0}))
+    rngs = RngRegistry(1)
+    assert model.should_drop(rngs, 0, 1, _frame(), 0.0)
+    model2 = CompositeLoss(NoLoss(), BernoulliLoss(0.0))
+    assert not model2.should_drop(rngs, 0, 1, _frame(), 0.0)
+    with pytest.raises(ConfigError):
+        CompositeLoss()
+
+
+def test_snr_to_prr_monotonic_and_saturating():
+    values = [snr_to_prr(s) for s in (-5, 0, 3, 6, 9, 12, 20)]
+    assert all(b >= a for a, b in zip(values, values[1:]))
+    assert values[0] < 0.01
+    assert values[-1] > 0.99
+
+
+def test_noise_trace_deterministic_and_bounded():
+    a = SyntheticNoiseTrace(RngRegistry(5))
+    b = SyntheticNoiseTrace(RngRegistry(5))
+    samples_a = [a.noise_at(t * 0.05) for t in range(200)]
+    samples_b = [b.noise_at(t * 0.05) for t in range(200)]
+    assert samples_a == samples_b
+    assert all(-120 < x < -60 for x in samples_a)
+
+
+def test_noise_trace_has_heavy_periods():
+    trace = SyntheticNoiseTrace(RngRegistry(11))
+    samples = [trace.noise_at(t * 0.05) for t in range(2000)]
+    heavy = sum(1 for x in samples if x > -90)
+    assert 0 < heavy < len(samples)

@@ -1,0 +1,105 @@
+"""Unit tests for topologies and the propagation model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.net.topology import (
+    PropagationModel,
+    grid_topology,
+    mica2_grid_medium,
+    mica2_grid_tight,
+    random_disk_topology,
+    star_topology,
+)
+from repro.sim.rng import RngRegistry
+
+
+def test_star_fully_connected_and_lossless():
+    topo = star_topology(5)
+    assert topo.size == 6
+    for u in topo.node_ids:
+        assert sorted(topo.neighbors[u]) == [v for v in topo.node_ids if v != u]
+    assert all(loss == 0.0 for loss in topo.link_loss.values())
+
+
+def test_star_needs_receivers():
+    with pytest.raises(ConfigError):
+        star_topology(0)
+
+
+def test_grid_positions_and_base_station():
+    rngs = RngRegistry(1)
+    topo = grid_topology(3, 4, spacing=2.0, rngs=rngs)
+    assert topo.size == 13  # 12 grid nodes + base
+    assert topo.positions[1] == (0.0, 0.0)
+    assert topo.positions[12] == (6.0, 4.0)
+    assert 0 in topo.positions
+
+
+def test_grid_center_base_station():
+    topo = grid_topology(3, 3, spacing=2.0, rngs=RngRegistry(1), base_station="center")
+    assert topo.positions[0] == (2.0, 2.0)
+    with pytest.raises(ConfigError):
+        grid_topology(3, 3, spacing=2.0, base_station="edge")
+
+
+def test_links_are_symmetric_in_existence_and_quality():
+    topo = grid_topology(5, 5, spacing=3.0, rngs=RngRegistry(2))
+    for (u, v), loss in topo.link_loss.items():
+        assert (v, u) in topo.link_loss
+        assert topo.link_loss[(v, u)] == pytest.approx(loss)
+
+
+def test_closer_links_are_better_on_average():
+    topo = grid_topology(6, 6, spacing=3.0, rngs=RngRegistry(3))
+    near = [l for (u, v), l in topo.link_loss.items()
+            if abs(topo.distance(u, v) - 3.0) < 0.1]
+    far = [l for (u, v), l in topo.link_loss.items()
+           if topo.distance(u, v) > 7.0]
+    assert near and far
+    assert sum(near) / len(near) < sum(far) / len(far)
+
+
+def test_mica2_density_contrast():
+    rngs = RngRegistry(4)
+    tight = mica2_grid_tight(rngs, rows=10, cols=10)
+    medium = mica2_grid_medium(RngRegistry(4), rows=10, cols=10)
+    assert tight.average_degree() > 2 * medium.average_degree()
+    assert tight.is_connected()
+    assert medium.is_connected()
+
+
+def test_mica2_medium_is_lossier():
+    tight = mica2_grid_tight(RngRegistry(5), rows=10, cols=10)
+    medium = mica2_grid_medium(RngRegistry(5), rows=10, cols=10)
+    mean = lambda topo: sum(topo.link_loss.values()) / len(topo.link_loss)
+    assert mean(medium) > mean(tight)
+
+
+def test_propagation_model_monotone_in_distance():
+    model = PropagationModel()
+    rx = [model.rx_power(d, 0.0) for d in (1, 2, 4, 8, 16)]
+    assert all(b < a for a, b in zip(rx, rx[1:]))
+    assert model.rx_power(0.5, 0.0) == model.rx_power(1.0, 0.0)  # clamped at d0
+
+
+def test_random_disk():
+    topo = random_disk_topology(30, area_side=30.0, rngs=RngRegistry(6))
+    assert topo.size == 30
+    assert len(topo.link_loss) > 0
+    with pytest.raises(ConfigError):
+        random_disk_topology(1, 10.0, RngRegistry(1))
+
+
+def test_grid_validation():
+    with pytest.raises(ConfigError):
+        grid_topology(0, 5, spacing=1.0)
+
+
+def test_is_connected_detects_partition():
+    topo = star_topology(3)
+    # Sever node 3 entirely.
+    topo.neighbors[3] = []
+    for u in topo.node_ids:
+        topo.neighbors[u] = [v for v in topo.neighbors[u] if v != 3]
+    assert not topo.is_connected()

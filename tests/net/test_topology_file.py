@@ -1,0 +1,99 @@
+"""Tests for TinyOS-style topology file I/O."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.net.topology import mica2_grid_tight
+from repro.net.topology_file import load_topology, save_topology
+from repro.sim.rng import RngRegistry
+
+
+def test_roundtrip_preserves_structure(tmp_path):
+    original = mica2_grid_tight(RngRegistry(3), rows=4, cols=4)
+    path = tmp_path / "grid.txt"
+    save_topology(original, path)
+    loaded = load_topology(path)
+    assert set(loaded.positions) == set(original.positions)
+    for node_id, (x, y) in original.positions.items():
+        lx, ly = loaded.positions[node_id]
+        assert lx == pytest.approx(x, abs=1e-4)
+        assert ly == pytest.approx(y, abs=1e-4)
+    assert set(loaded.link_loss) == set(original.link_loss)
+    for link, loss in original.link_loss.items():
+        assert loaded.link_loss[link] == pytest.approx(loss, abs=1e-5)
+    for node_id in original.node_ids:
+        assert sorted(loaded.neighbors[node_id]) == sorted(original.neighbors[node_id])
+
+
+def test_comments_and_blanks_ignored(tmp_path):
+    path = tmp_path / "t.txt"
+    path.write_text(
+        "# a comment\n\nnode 0 0 0\nnode 1 3.0 0\n\n# links\nlink 0 1 0.9\nlink 1 0 0.8\n"
+    )
+    topo = load_topology(path)
+    assert topo.size == 2
+    assert topo.link_loss[(0, 1)] == pytest.approx(0.1)
+    assert topo.link_loss[(1, 0)] == pytest.approx(0.2)
+
+
+def test_gain_mode_derives_prr(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("node 0 0 0\nnode 1 3 0\nlink 0 1 -70.0\nlink 1 0 -97.0\n")
+    topo = load_topology(path, gain=True)
+    assert topo.link_loss[(0, 1)] < 0.05   # strong signal: near-perfect
+    assert (1, 0) not in topo.link_loss or topo.link_loss[(1, 0)] > 0.5
+
+
+def test_zero_prr_links_omitted(tmp_path):
+    path = tmp_path / "z.txt"
+    path.write_text("node 0 0 0\nnode 1 3 0\nlink 0 1 0.0\n")
+    topo = load_topology(path)
+    assert (0, 1) not in topo.link_loss
+    assert topo.neighbors[0] == []
+
+
+def test_malformed_records_rejected(tmp_path):
+    cases = [
+        "node 0 0\n",                       # too few fields
+        "node 0 0 0\nlink 0 1\n",           # too few link fields
+        "frobnicate 1 2 3\n",               # unknown record
+        "node 0 0 0\nnode 1 1 0\nlink 0 1 1.5\n",   # PRR out of range
+        "node 0 0 0\nlink 0 9 0.5\n",       # unknown node
+    ]
+    for i, content in enumerate(cases):
+        path = tmp_path / f"bad{i}.txt"
+        path.write_text(content)
+        with pytest.raises(ConfigError):
+            load_topology(path)
+
+
+def test_loaded_topology_runs_a_dissemination(tmp_path):
+    """A file-loaded topology is a first-class simulation substrate."""
+    from repro.core.image import CodeImage
+    from repro.experiments.runner import CompletionTracker, run_network
+    from repro.experiments.scenarios import make_params
+    from repro.net.channel import PerLinkLoss
+    from repro.net.radio import Radio, RadioConfig
+    from repro.protocols.seluge import build_seluge_network
+    from repro.sim.engine import Simulator
+    from repro.sim.trace import TraceRecorder
+
+    original = mica2_grid_tight(RngRegistry(5), rows=3, cols=3)
+    path = tmp_path / "grid.txt"
+    save_topology(original, path)
+    topo = load_topology(path)
+
+    sim = Simulator()
+    rngs = RngRegistry(5)
+    trace = TraceRecorder()
+    radio = Radio(sim, topo, PerLinkLoss(topo.link_loss), rngs, trace,
+                  config=RadioConfig(collisions=True))
+    params = make_params("seluge", image_size=2000, k=8)
+    image = CodeImage.synthetic(2000, version=2, seed=5)
+    tracker = CompletionTracker(trace)
+    base, nodes, pre = build_seluge_network(
+        sim, radio, rngs, trace, params, image=image, on_complete=tracker)
+    base.start()
+    result = run_network(sim, trace, tracker, nodes, "seluge",
+                         max_time=2400.0, expected_image=image.data)
+    assert result.completed and result.images_ok

@@ -1,0 +1,48 @@
+"""Helpers for protocol-level tests: small networks on perfect/lossy channels."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ProtocolTiming
+from repro.core.image import CodeImage
+from repro.experiments.runner import CompletionTracker, run_network
+from repro.experiments.scenarios import build_protocol_network, make_params
+from repro.net.channel import BernoulliLoss
+from repro.net.radio import Radio, RadioConfig
+from repro.net.topology import star_topology
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import TraceRecorder
+
+
+class ProtocolHarness:
+    """A ready-to-run one-hop network for a given protocol."""
+
+    def __init__(self, protocol, receivers=4, loss=0.0, image_size=3000,
+                 k=8, n=12, seed=5, collisions=False):
+        self.protocol = protocol
+        self.rngs = RngRegistry(seed)
+        self.sim = Simulator()
+        self.trace = TraceRecorder()
+        topo = star_topology(receivers)
+        self.radio = Radio(self.sim, topo, BernoulliLoss(loss), self.rngs,
+                           self.trace, config=RadioConfig(collisions=collisions))
+        self.params = make_params(protocol, image_size=image_size, k=k, n=n)
+        self.image = CodeImage.synthetic(image_size, version=2, seed=seed)
+        self.tracker = CompletionTracker(self.trace)
+        self.base, self.nodes, self.pre = build_protocol_network(
+            protocol, self.sim, self.radio, self.rngs, self.trace,
+            self.params, self.image, self.tracker,
+        )
+
+    def run(self, max_time=3600.0):
+        self.base.start()
+        return run_network(self.sim, self.trace, self.tracker, self.nodes,
+                           self.protocol, max_time=max_time,
+                           expected_image=self.image.data)
+
+
+@pytest.fixture
+def harness():
+    return ProtocolHarness

@@ -1,0 +1,32 @@
+"""End-to-end tests for the Deluge baseline."""
+
+
+def test_completes_on_perfect_channel(harness):
+    result = harness("deluge", receivers=3).run()
+    assert result.completed and result.images_ok
+
+
+def test_completes_under_loss(harness):
+    result = harness("deluge", receivers=4, loss=0.2, seed=11).run()
+    assert result.completed and result.images_ok
+
+
+def test_no_signature_traffic(harness):
+    h = harness("deluge", receivers=2)
+    result = h.run()
+    assert result.counters.get("tx_signature", 0) == 0
+
+
+def test_unit_count_is_page_count(harness):
+    h = harness("deluge", receivers=1)
+    assert h.pre.total_units == h.params.num_pages()
+    result = h.run()
+    assert result.completed
+
+
+def test_loss_increases_cost(harness):
+    clean = harness("deluge", receivers=3, seed=2).run()
+    lossy = harness("deluge", receivers=3, loss=0.3, seed=2).run()
+    assert lossy.completed
+    assert lossy.data_packets > clean.data_packets
+    assert lossy.latency > clean.latency

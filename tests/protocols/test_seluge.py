@@ -1,0 +1,46 @@
+"""End-to-end tests for the Seluge baseline."""
+
+
+def test_completes_with_verified_image(harness):
+    result = harness("seluge", receivers=3).run()
+    assert result.completed and result.images_ok
+
+
+def test_completes_under_heavy_loss(harness):
+    result = harness("seluge", receivers=3, loss=0.35, seed=9).run()
+    assert result.completed and result.images_ok
+
+
+def test_signature_transmitted_and_verified(harness):
+    h = harness("seluge", receivers=3)
+    result = h.run()
+    assert result.counters.get("tx_signature", 0) >= 1
+    for node in h.nodes:
+        assert node.pipeline.stats["signature_verifications"] >= 1
+        assert node.pipeline.root is not None
+
+
+def test_every_data_packet_authenticated(harness):
+    h = harness("seluge", receivers=2)
+    h.run()
+    for node in h.nodes:
+        stats = node.pipeline.stats
+        checks = stats["hash_checks"] + stats["merkle_checks"]
+        assert checks > 0
+        assert stats.get("rejected_packets", 0) == 0  # no forgeries present
+
+
+def test_receivers_can_serve_each_other(harness):
+    """Completed receivers hold exact packet sets and can re-serve them."""
+    h = harness("seluge", receivers=2)
+    h.run()
+    node = h.nodes[0]
+    for unit in h.pre.units[1:]:
+        assert node.pipeline.serving_packets(unit.index) == unit.packets
+
+
+def test_snack_suppression_active(harness):
+    h = harness("seluge", receivers=8, loss=0.1, seed=3)
+    result = h.run()
+    assert result.completed
+    assert result.counters.get("snack_suppressed", 0) > 0

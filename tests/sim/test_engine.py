@@ -1,0 +1,116 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+
+
+def test_initial_state(sim):
+    assert sim.now == 0.0
+    assert sim.pending_events == 0
+    assert sim.processed_events == 0
+
+
+def test_events_run_in_time_order(sim):
+    seen = []
+    sim.schedule(3.0, seen.append, "c")
+    sim.schedule(1.0, seen.append, "a")
+    sim.schedule(2.0, seen.append, "b")
+    sim.run()
+    assert seen == ["a", "b", "c"]
+    assert sim.now == 3.0
+
+
+def test_simultaneous_events_run_in_scheduling_order(sim):
+    seen = []
+    for tag in ("first", "second", "third"):
+        sim.schedule(1.0, seen.append, tag)
+    sim.run()
+    assert seen == ["first", "second", "third"]
+
+
+def test_run_until_stops_and_advances_clock(sim):
+    seen = []
+    sim.schedule(1.0, seen.append, 1)
+    sim.schedule(5.0, seen.append, 5)
+    executed = sim.run(until=2.0)
+    assert executed == 1
+    assert seen == [1]
+    assert sim.now == 2.0  # clock advanced to the boundary
+    sim.run()
+    assert seen == [1, 5]
+
+
+def test_cancelled_event_does_not_fire(sim):
+    seen = []
+    event = sim.schedule(1.0, seen.append, "x")
+    event.cancel()
+    sim.run()
+    assert seen == []
+    assert sim.pending_events == 0
+
+
+def test_cancel_is_idempotent(sim):
+    event = sim.schedule(1.0, lambda: None)
+    event.cancel()
+    event.cancel()
+    sim.run()
+
+
+def test_schedule_in_past_rejected(sim):
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.5, lambda: None)
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_events_scheduled_during_run_execute(sim):
+    seen = []
+
+    def outer():
+        seen.append("outer")
+        sim.schedule(1.0, seen.append, "inner")
+
+    sim.schedule(1.0, outer)
+    sim.run()
+    assert seen == ["outer", "inner"]
+    assert sim.now == 2.0
+
+
+def test_max_events_bound(sim):
+    def reschedule():
+        sim.schedule(1.0, reschedule)
+
+    sim.schedule(1.0, reschedule)
+    executed = sim.run(max_events=10)
+    assert executed == 10
+
+
+def test_run_not_reentrant(sim):
+    def nested():
+        sim.run()
+
+    sim.schedule(1.0, nested)
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_run_until_idle_guard():
+    sim = Simulator()
+
+    def reschedule():
+        sim.schedule(0.1, reschedule)
+
+    sim.schedule(0.1, reschedule)
+    with pytest.raises(SimulationError):
+        sim.run_until_idle(max_events=50)
+
+
+def test_processed_events_accumulates(sim):
+    for _ in range(5):
+        sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert sim.processed_events == 5

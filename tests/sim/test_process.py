@@ -1,0 +1,93 @@
+"""Unit tests for Timer and PeriodicProcess."""
+
+from repro.sim.process import PeriodicProcess, Timer
+
+
+def test_timer_fires_with_args(sim):
+    seen = []
+    timer = Timer(sim, lambda a, b: seen.append((a, b)))
+    timer.start(2.0, "x", 1)
+    assert timer.armed
+    assert timer.expires_at == 2.0
+    sim.run()
+    assert seen == [("x", 1)]
+    assert not timer.armed
+
+
+def test_timer_restart_replaces_pending_expiry(sim):
+    seen = []
+    timer = Timer(sim, seen.append)
+    timer.start(1.0, "first")
+    timer.start(3.0, "second")
+    sim.run()
+    assert seen == ["second"]
+    assert sim.now == 3.0
+
+
+def test_timer_cancel(sim):
+    seen = []
+    timer = Timer(sim, seen.append)
+    timer.start(1.0, "x")
+    timer.cancel()
+    sim.run()
+    assert seen == []
+
+
+def test_timer_cancel_when_idle_is_noop(sim):
+    timer = Timer(sim, lambda: None)
+    timer.cancel()
+    assert not timer.armed
+
+
+def test_timer_can_rearm_from_callback(sim):
+    seen = []
+    timer = Timer(sim, lambda: None)
+
+    def fire():
+        seen.append(sim.now)
+        if len(seen) < 3:
+            timer.start(1.0)
+
+    timer._fn = fire
+    timer.start(1.0)
+    sim.run()
+    assert seen == [1.0, 2.0, 3.0]
+
+
+def test_periodic_process_fixed_interval(sim):
+    ticks = []
+    proc = PeriodicProcess(sim, lambda: ticks.append(sim.now), interval=2.0)
+    sim.run(until=7.0)
+    assert ticks == [2.0, 4.0, 6.0]
+    proc.stop()
+    sim.run(until=20.0)
+    assert len(ticks) == 3
+
+
+def test_periodic_process_callable_interval(sim):
+    gaps = iter([1.0, 2.0, 4.0, 100.0])
+    ticks = []
+    PeriodicProcess(sim, lambda: ticks.append(sim.now), interval=lambda: next(gaps))
+    sim.run(until=8.0)
+    assert ticks == [1.0, 3.0, 7.0]
+
+
+def test_periodic_process_start_delay(sim):
+    ticks = []
+    PeriodicProcess(sim, lambda: ticks.append(sim.now), interval=5.0, start_delay=1.0)
+    sim.run(until=12.0)
+    assert ticks == [1.0, 6.0, 11.0]
+
+
+def test_periodic_stop_from_callback(sim):
+    ticks = []
+    proc = None
+
+    def tick():
+        ticks.append(sim.now)
+        if len(ticks) == 2:
+            proc.stop()
+
+    proc = PeriodicProcess(sim, tick, interval=1.0)
+    sim.run(until=10.0)
+    assert ticks == [1.0, 2.0]

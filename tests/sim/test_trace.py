@@ -1,0 +1,47 @@
+"""Unit tests for the trace recorder."""
+
+from repro.sim.trace import TraceRecorder
+
+
+def test_counters_accumulate():
+    t = TraceRecorder()
+    t.count("tx", 2)
+    t.count("tx")
+    assert t.counters["tx"] == 3
+    assert t.snapshot() == {"tx": 3}
+
+
+def test_snapshot_is_a_copy():
+    t = TraceRecorder()
+    t.count("a")
+    snap = t.snapshot()
+    t.count("a")
+    assert snap["a"] == 1
+    assert t.counters["a"] == 2
+
+
+def test_record_counts_without_keeping_records_by_default():
+    t = TraceRecorder()
+    t.record(1.0, "rx", node=3, unit=2)
+    assert t.counters["rx"] == 1
+    assert t.records == []
+
+
+def test_record_keeps_records_when_enabled():
+    t = TraceRecorder(keep_records=True)
+    t.record(1.5, "rx", node=3, unit=2, index=7)
+    t.record(2.0, "tx", node=4)
+    assert len(t.records) == 2
+    rx = t.of_kind("rx")[0]
+    assert rx.time == 1.5
+    assert rx.node == 3
+    assert rx.get("unit") == 2
+    assert rx.get("missing", "default") == "default"
+
+
+def test_marks_first_write_wins():
+    t = TraceRecorder()
+    t.mark("done", 5.0)
+    t.mark("done", 9.0)
+    assert t.get_mark("done") == 5.0
+    assert t.get_mark("other") is None

@@ -1,0 +1,134 @@
+"""Unit tests for the Trickle timer."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.engine import Simulator
+from repro.trickle.timer import TrickleTimer
+
+
+def _trickle(sim, fires, i_min=1.0, i_max=8.0, k=1, seed=1):
+    return TrickleTimer(
+        sim, lambda: fires.append(sim.now), random.Random(seed),
+        i_min=i_min, i_max=i_max, redundancy_k=k,
+    )
+
+
+def test_fires_in_second_half_of_interval():
+    sim = Simulator()
+    fires = []
+    t = _trickle(sim, fires)
+    t.start()
+    sim.run(until=1.0)
+    assert len(fires) == 1
+    assert 0.5 <= fires[0] <= 1.0
+
+
+def test_interval_doubles_up_to_max():
+    sim = Simulator()
+    fires = []
+    t = _trickle(sim, fires, i_min=1.0, i_max=4.0)
+    t.start()
+    sim.run(until=0.99)
+    assert t.interval == 1.0
+    sim.run(until=1.01)
+    assert t.interval == 2.0
+    sim.run(until=3.01)
+    assert t.interval == 4.0
+    sim.run(until=30.0)
+    assert t.interval == 4.0  # capped
+
+
+def test_consistent_messages_suppress_fire():
+    sim = Simulator()
+    fires = []
+    t = _trickle(sim, fires, k=1)
+    t.start()
+    # Hear a consistent advertisement before the fire point of every interval.
+    def chatter():
+        t.heard_consistent()
+        sim.schedule(0.4, chatter)
+    sim.schedule(0.01, chatter)
+    sim.run(until=20.0)
+    assert fires == []
+
+
+def test_redundancy_threshold():
+    sim = Simulator()
+    fires = []
+    t = _trickle(sim, fires, k=3)
+    t.start()
+    t.heard_consistent()
+    t.heard_consistent()  # only 2 < k=3: still fires
+    sim.run(until=1.0)
+    assert len(fires) == 1
+
+
+def test_inconsistency_resets_interval():
+    sim = Simulator()
+    fires = []
+    t = _trickle(sim, fires, i_min=1.0, i_max=64.0)
+    t.start()
+    sim.run(until=7.5)  # interval has grown past i_min
+    assert t.interval > 1.0
+    t.heard_inconsistent()
+    assert t.interval == 1.0
+    before = len(fires)
+    sim.run(until=8.5)
+    assert len(fires) > before  # fast gossip resumed
+
+
+def test_inconsistent_at_min_interval_does_not_restart():
+    sim = Simulator()
+    fires = []
+    t = _trickle(sim, fires, i_min=1.0, i_max=64.0)
+    t.start()
+    first_event_count = sim.pending_events
+    t.heard_inconsistent()  # already at i_min: no reset churn
+    assert sim.pending_events == first_event_count
+
+
+def test_stop_halts_fires():
+    sim = Simulator()
+    fires = []
+    t = _trickle(sim, fires)
+    t.start()
+    sim.run(until=1.0)
+    t.stop()
+    count = len(fires)
+    sim.run(until=50.0)
+    assert len(fires) == count
+    assert not t.running
+
+
+def test_restart_after_stop():
+    sim = Simulator()
+    fires = []
+    t = _trickle(sim, fires, i_min=1.0, i_max=64.0)
+    t.start()
+    sim.run(until=10.0)
+    t.stop()
+    t.start()
+    assert t.interval == 1.0
+
+
+def test_start_idempotent():
+    sim = Simulator()
+    fires = []
+    t = _trickle(sim, fires)
+    t.start()
+    pending = sim.pending_events
+    t.start()
+    assert sim.pending_events == pending
+
+
+def test_validation():
+    sim = Simulator()
+    with pytest.raises(ConfigError):
+        TrickleTimer(sim, lambda: None, random.Random(1), i_min=0.0)
+    with pytest.raises(ConfigError):
+        TrickleTimer(sim, lambda: None, random.Random(1), i_min=5.0, i_max=1.0)
+    with pytest.raises(ConfigError):
+        TrickleTimer(sim, lambda: None, random.Random(1), redundancy_k=0)
