@@ -4,6 +4,11 @@ Section VI compares: total data packets, total SNACK packets, total
 advertisement packets, total communication cost in bytes (data + SNACK +
 advertisement, to account for LR-Seluge's ``n - k`` extra SNACK bits), and
 overall dissemination latency (time until every node holds the image).
+
+Fault-injection runs additionally report degradation: the completion rate
+(nodes finished / nodes tracked), fault event counts, and — via
+:func:`degradation` — the extra packets and latency penalty relative to a
+fault-free baseline of the same scenario.
 """
 
 from __future__ import annotations
@@ -11,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-__all__ = ["RunResult"]
+__all__ = ["RunResult", "DegradationReport", "degradation"]
 
 
 @dataclass
@@ -25,6 +30,7 @@ class RunResult:
     per_node_completion: Dict[int, float] = field(default_factory=dict)
     images_ok: Optional[bool] = None
     seed: int = 0
+    n_nodes: Optional[int] = None   # tracked receivers (excludes the base)
 
     # -- the paper's five metrics ------------------------------------------------
 
@@ -55,6 +61,25 @@ class RunResult:
             "tx_signature_bytes", 0
         )
 
+    # -- fault/degradation metrics -------------------------------------------------
+
+    @property
+    def completion_rate(self) -> Optional[float]:
+        """Fraction of tracked nodes that completed (None when untracked)."""
+        if self.n_nodes is None:
+            return None
+        if self.n_nodes == 0:
+            return 1.0
+        return len(self.per_node_completion) / self.n_nodes
+
+    @property
+    def crash_count(self) -> int:
+        return self.counters.get("fault_crash", 0)
+
+    @property
+    def reboot_count(self) -> int:
+        return self.counters.get("fault_reboot", 0)
+
     def summary_row(self) -> Dict[str, float]:
         """The five paper metrics as a flat dict (for report tables)."""
         return {
@@ -72,3 +97,49 @@ class RunResult:
             f"snack={self.snack_packets} adv={self.adv_packets} "
             f"bytes={self.total_bytes} latency={self.latency:.1f}s"
         )
+
+
+@dataclass(frozen=True)
+class DegradationReport:
+    """How much a faulty run paid relative to its fault-free baseline."""
+
+    completion_rate: Optional[float]
+    crashes: int
+    reboots: int
+    extra_data_packets: int
+    extra_snack_packets: int
+    extra_total_bytes: int
+    latency_penalty_s: float
+    latency_ratio: float
+
+    def summary_row(self) -> Dict[str, float]:
+        return {
+            "completion_rate": (
+                round(self.completion_rate, 4)
+                if self.completion_rate is not None
+                else float("nan")
+            ),
+            "crashes": self.crashes,
+            "reboots": self.reboots,
+            "extra_data_pkts": self.extra_data_packets,
+            "extra_snack_pkts": self.extra_snack_packets,
+            "extra_bytes": self.extra_total_bytes,
+            "latency_penalty_s": round(self.latency_penalty_s, 2),
+            "latency_ratio": round(self.latency_ratio, 3),
+        }
+
+
+def degradation(faulty: RunResult, baseline: RunResult) -> DegradationReport:
+    """Compare a fault-injected run against a fault-free run of the same
+    scenario: the extra traffic and latency are the cost of the faults."""
+    ratio = faulty.latency / baseline.latency if baseline.latency > 0 else float("inf")
+    return DegradationReport(
+        completion_rate=faulty.completion_rate,
+        crashes=faulty.crash_count,
+        reboots=faulty.reboot_count,
+        extra_data_packets=faulty.data_packets - baseline.data_packets,
+        extra_snack_packets=faulty.snack_packets - baseline.snack_packets,
+        extra_total_bytes=faulty.total_bytes - baseline.total_bytes,
+        latency_penalty_s=faulty.latency - baseline.latency,
+        latency_ratio=ratio,
+    )

@@ -82,4 +82,5 @@ def run_network(
         per_node_completion=dict(tracker.completions),
         images_ok=images_ok,
         seed=seed,
+        n_nodes=len(nodes),
     )

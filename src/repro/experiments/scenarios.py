@@ -19,6 +19,10 @@ from repro.core.config import DelugeParams, ImageConfig, LRSelugeParams, Protoco
 from repro.core.image import CodeImage
 from repro.experiments.metrics import RunResult
 from repro.experiments.runner import CompletionTracker, run_network
+from repro.faults.flash import NodeFlash
+from repro.faults.generators import crash_reboot_churn, link_flap_churn
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.net.channel import (
     BernoulliLoss,
     CompositeLoss,
@@ -47,8 +51,10 @@ from repro.errors import ConfigError
 __all__ = [
     "OneHopScenario",
     "MultiHopScenario",
+    "FaultyGridScenario",
     "run_one_hop",
     "run_multihop",
+    "run_faulty_grid",
     "build_protocol_network",
 ]
 
@@ -185,6 +191,109 @@ def _build_topology(scenario: MultiHopScenario, rngs: RngRegistry) -> Topology:
         _, n_nodes, side = spec.split(":")
         return random_disk_topology(int(n_nodes), float(side), rngs)
     raise ConfigError(f"unknown topology {spec!r}")
+
+
+@dataclass(frozen=True)
+class FaultyGridScenario:
+    """A multi-hop grid under fault injection (crashes, churn, link flaps).
+
+    Faults come from an explicit :class:`FaultPlan` and/or the stochastic
+    generators: with ``mtbf`` set, every *receiver* (never the base station,
+    whose image is the golden copy) crash-reboots with exponential
+    MTBF/MTTR; with ``link_flap`` set, directed links flap Bernoulli-style.
+    Every receiver gets a :class:`NodeFlash`, so reboots resume from the
+    persisted page index.  Identical seed + plan reproduces an identical
+    trace.
+    """
+
+    protocol: str = "lr-seluge"
+    topology: str = "grid:4x4:3"
+    image_size: int = 4096
+    k: int = 8
+    n: int = 12
+    kprime: int = 0
+    seed: int = 1
+    max_time: float = 7200.0
+    ambient: bool = False
+    plan: Optional[FaultPlan] = None
+    mtbf: Optional[float] = None      # mean seconds between crashes, per node
+    mttr: float = 60.0                # mean seconds a crashed node stays down
+    link_flap: float = 0.0            # Bernoulli down-probability per check
+    flap_interval: float = 30.0       # seconds between flap checks
+    flap_down_time: float = 15.0      # seconds a flapped link stays down
+    churn_horizon: Optional[float] = None  # default: max_time / 2
+    timing: Optional[ProtocolTiming] = None
+
+    def with_protocol(self, protocol: str) -> "FaultyGridScenario":
+        return replace(self, protocol=protocol)
+
+    def fault_free(self) -> "FaultyGridScenario":
+        """The same scenario with every fault source removed (baseline)."""
+        return replace(self, plan=None, mtbf=None, link_flap=0.0)
+
+
+def run_faulty_grid(
+    scenario: FaultyGridScenario,
+    trace: Optional[TraceRecorder] = None,
+) -> RunResult:
+    """Simulate a grid dissemination under the scenario's fault model.
+
+    Pass a ``TraceRecorder(keep_records=True)`` to capture the full fault /
+    recovery event sequence (crash, reboot with resume unit, link churn).
+    """
+    rngs = RngRegistry(scenario.seed)
+    sim = Simulator()
+    trace = trace if trace is not None else TraceRecorder()
+    topo = _build_topology(scenario, rngs)
+    loss: LossModel
+    if scenario.ambient:
+        loss = CompositeLoss(
+            PerLinkLoss(topo.link_loss),
+            GilbertElliottLoss(loss_good=0.05, loss_bad=0.5, mean_good=6.0, mean_bad=2.0),
+        )
+    else:
+        loss = PerLinkLoss(topo.link_loss)
+    radio = Radio(sim, topo, loss, rngs, trace, config=RadioConfig(collisions=True))
+    params = make_params(
+        scenario.protocol,
+        image_size=scenario.image_size,
+        k=scenario.k,
+        n=scenario.n,
+        kprime=scenario.kprime,
+        timing=scenario.timing,
+    )
+    image = CodeImage.synthetic(scenario.image_size, version=2, seed=scenario.seed)
+    tracker = CompletionTracker(trace)
+    base, nodes, pre = build_protocol_network(
+        scenario.protocol, sim, radio, rngs, trace, params, image, tracker
+    )
+    for node in nodes:
+        node.flash = NodeFlash(node.node_id)
+
+    plan = scenario.plan if scenario.plan is not None else FaultPlan()
+    horizon = scenario.churn_horizon or scenario.max_time / 2.0
+    if scenario.mtbf is not None:
+        plan = plan.merge(crash_reboot_churn(
+            rngs, [node.node_id for node in nodes],
+            mtbf=scenario.mtbf, mttr=scenario.mttr, horizon=horizon,
+        ))
+    if scenario.link_flap > 0.0:
+        links = sorted(
+            (u, v) for u, nbrs in topo.neighbors.items() for v in nbrs
+        )
+        plan = plan.merge(link_flap_churn(
+            rngs, links, p_flap=scenario.link_flap,
+            down_time=scenario.flap_down_time,
+            check_interval=scenario.flap_interval, horizon=horizon,
+        ))
+    injector = FaultInjector(sim, radio, trace, [base] + nodes, plan, rngs)
+    injector.install()
+
+    base.start()
+    return run_network(
+        sim, trace, tracker, nodes, scenario.protocol,
+        max_time=scenario.max_time, expected_image=image.data, seed=scenario.seed,
+    )
 
 
 def run_multihop(scenario: MultiHopScenario) -> RunResult:

@@ -1,0 +1,31 @@
+"""Deterministic fault injection: crashes, churn, partitions, corruption.
+
+The subsystem has four pieces:
+
+* :mod:`repro.faults.plan` — a :class:`FaultPlan` is a declarative, sorted
+  list of timed fault events (node crash/reboot, directed-link up/down,
+  partition/heal, frame corruption windows).
+* :mod:`repro.faults.generators` — stochastic plan builders (exponential
+  MTBF/MTTR crash-reboot churn, Bernoulli link flaps) seeded through the
+  :class:`~repro.sim.rng.RngRegistry`, so identical seed + parameters yield
+  an identical plan.
+* :mod:`repro.faults.flash` — :class:`NodeFlash`, the crash-surviving
+  per-node store a rebooting node re-verifies its progress from.
+* :mod:`repro.faults.injector` — :class:`FaultInjector` replays a plan
+  through :meth:`Simulator.schedule_at` against a live network.
+"""
+
+from repro.faults.flash import NodeFlash
+from repro.faults.generators import crash_reboot_churn, link_flap_churn
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+
+__all__ = [
+    "FaultEvent",
+    "FaultKind",
+    "FaultPlan",
+    "FaultInjector",
+    "NodeFlash",
+    "crash_reboot_churn",
+    "link_flap_churn",
+]

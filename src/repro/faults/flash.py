@@ -1,0 +1,104 @@
+"""Simulated per-node persistent flash.
+
+A real Deluge/Seluge deployment writes each completed page to external
+flash; a node that browns out and reboots does not restart dissemination
+from page 0 — it resumes from the last page its flash holds.  ``NodeFlash``
+models exactly that store: the fault injector destroys a node's RAM state on
+crash, but its ``NodeFlash`` survives untouched.
+
+The store keeps the *authenticated packets* of every completed unit, not the
+decoded page bytes, so a rebooting node can replay them through a fresh
+:class:`~repro.core.verify.ReceiverPipeline` — flash contents are never
+trusted blindly (a half-written or stale page fails re-verification and the
+node simply resumes from the last unit that still verifies).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.packets import DataPacket, SignaturePacket
+
+__all__ = ["NodeFlash"]
+
+
+class NodeFlash:
+    """Crash-surviving dissemination progress for one node."""
+
+    def __init__(self, node_id: int):
+        self.node_id = node_id
+        self.version: Optional[int] = None
+        self.units_complete: int = 0
+        self.total_units: Optional[int] = None
+        self.signature: Optional[SignaturePacket] = None
+        self._units: Dict[int, Dict[int, DataPacket]] = {}
+        # Wear/IO accounting, for energy-style bookkeeping in experiments.
+        self.writes: int = 0
+        self.wipes: int = 0
+
+    # -- writes (page-completion time) --------------------------------------
+
+    def _begin_version(self, version: int) -> None:
+        """A new image version invalidates everything stored for the old one."""
+        if self.version is not None and self.version != version:
+            self.wipe()
+        self.version = version
+
+    def write_signature(self, version: int, packet: SignaturePacket) -> None:
+        """Persist the verified signature packet (unit 0 of secure protocols)."""
+        self._begin_version(version)
+        self.signature = packet
+        self.writes += 1
+
+    def write_unit(
+        self,
+        version: int,
+        unit: int,
+        packets: Dict[int, DataPacket],
+        total_units: Optional[int] = None,
+    ) -> None:
+        """Persist the authenticated packets that completed ``unit``."""
+        self._begin_version(version)
+        self._units[unit] = dict(packets)
+        if total_units is not None:
+            self.total_units = total_units
+        self.writes += 1
+
+    def set_units_complete(self, units_complete: int) -> None:
+        self.units_complete = units_complete
+
+    # -- reads (reboot time) --------------------------------------------------
+
+    def unit_packets(self, unit: int) -> Optional[Dict[int, DataPacket]]:
+        stored = self._units.get(unit)
+        return dict(stored) if stored is not None else None
+
+    @property
+    def stored_units(self) -> List[int]:
+        return sorted(self._units)
+
+    @property
+    def empty(self) -> bool:
+        return self.signature is None and not self._units
+
+    # -- maintenance ----------------------------------------------------------
+
+    def truncate_from(self, unit: int) -> None:
+        """Drop ``unit`` and everything above it (failed re-verification)."""
+        for u in [u for u in self._units if u >= unit]:
+            del self._units[u]
+        self.units_complete = min(self.units_complete, unit)
+
+    def wipe(self) -> None:
+        self.version = None
+        self.units_complete = 0
+        self.total_units = None
+        self.signature = None
+        self._units.clear()
+        self.wipes += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"NodeFlash(node={self.node_id}, version={self.version}, "
+            f"units={self.stored_units}, sig={self.signature is not None})"
+        )

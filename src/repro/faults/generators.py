@@ -1,0 +1,84 @@
+"""Stochastic fault-plan generators.
+
+Both generators draw from dedicated named streams of the
+:class:`~repro.sim.rng.RngRegistry`, one per node or link, so that
+
+* identical root seed + parameters always produce an identical plan, and
+* generating a plan never perturbs the randomness any other component
+  (channel, MAC backoff, protocol jitter) consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from repro.errors import ConfigError
+from repro.faults.plan import FaultPlan
+from repro.sim.rng import RngRegistry
+
+__all__ = ["crash_reboot_churn", "link_flap_churn"]
+
+
+def crash_reboot_churn(
+    rngs: RngRegistry,
+    node_ids: Iterable[int],
+    mtbf: float,
+    mttr: float,
+    horizon: float,
+    stream: str = "faults/churn",
+) -> FaultPlan:
+    """Exponential up/down churn: crash after ~MTBF up, reboot after ~MTTR down.
+
+    Crashes are only scheduled before ``horizon``; the matching reboot is
+    always scheduled (possibly past the horizon) so every crashed node
+    eventually recovers — the degradation experiments measure the penalty of
+    churn, not of permanently dead nodes.  Exclude the base station from
+    ``node_ids`` to keep at least one copy of every page reachable.
+    """
+    if mtbf <= 0 or mttr <= 0:
+        raise ConfigError("mtbf and mttr must be positive")
+    if horizon <= 0:
+        raise ConfigError("churn horizon must be positive")
+    plan = FaultPlan()
+    for node in node_ids:
+        rng = rngs.get(f"{stream}/{node}")
+        t = rng.expovariate(1.0 / mtbf)
+        while t < horizon:
+            downtime = rng.expovariate(1.0 / mttr)
+            plan.crash(t, node, reboot_after=max(downtime, 1e-6))
+            t += downtime + rng.expovariate(1.0 / mtbf)
+    return plan
+
+
+def link_flap_churn(
+    rngs: RngRegistry,
+    links: Iterable[Tuple[int, int]],
+    p_flap: float,
+    down_time: float,
+    check_interval: float,
+    horizon: float,
+    stream: str = "faults/flap",
+) -> FaultPlan:
+    """Bernoulli link flaps: every ``check_interval`` seconds each directed
+    link independently goes down with probability ``p_flap`` for
+    ``down_time`` seconds (no overlapping windows per link)."""
+    if not 0.0 <= p_flap <= 1.0:
+        raise ConfigError(f"flap probability {p_flap} outside [0, 1]")
+    if down_time <= 0 or check_interval <= 0:
+        raise ConfigError("down_time and check_interval must be positive")
+    if horizon <= 0:
+        raise ConfigError("flap horizon must be positive")
+    plan = FaultPlan()
+    if p_flap == 0.0:
+        return plan
+    for sender, receiver in links:
+        rng = rngs.get(f"{stream}/{sender}-{receiver}")
+        t = check_interval
+        while t < horizon:
+            if rng.random() < p_flap:
+                plan.link_down(t, sender, receiver)
+                plan.link_up(t + down_time, sender, receiver)
+                t += down_time + check_interval
+            else:
+                t += check_interval
+    return plan

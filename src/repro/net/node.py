@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import abc
-from typing import Any, List
+from typing import Any, List, Optional
 
 from repro.net.packet import Frame, FrameKind
 from repro.net.radio import Radio
@@ -42,7 +42,9 @@ class NetworkNode(abc.ABC):
     def neighbors(self) -> List[int]:
         return self.radio.neighbors(self.node_id)
 
-    def broadcast(self, kind: FrameKind, size_bytes: int, payload: Any, dest: int = None) -> Frame:
+    def broadcast(
+        self, kind: FrameKind, size_bytes: int, payload: Any, dest: Optional[int] = None
+    ) -> Frame:
         """Queue a local broadcast; returns the frame for bookkeeping."""
         frame = Frame(
             kind=kind,

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional, TYPE_CHECKING
+from typing import Callable, Deque, Dict, List, Optional, Set, Tuple, TYPE_CHECKING
 
 from repro.errors import SimulationError
 from repro.net.channel import LossModel
@@ -49,13 +49,14 @@ class RadioConfig:
 
 
 class _Transmission:
-    __slots__ = ("sender", "frame", "start", "end")
+    __slots__ = ("sender", "frame", "start", "end", "aborted")
 
     def __init__(self, sender: int, frame: Frame, start: float, end: float):
         self.sender = sender
         self.frame = frame
         self.start = start
         self.end = end
+        self.aborted = False  # sender crashed mid-frame; delivers to nobody
 
 
 class Radio:
@@ -82,6 +83,11 @@ class Radio:
         self._backoffs: Dict[int, int] = {}
         self._active: List[_Transmission] = []
         self._history: List[_Transmission] = []
+        self._detached: Set[int] = set()
+        self._links_down: Set[Tuple[int, int]] = set()
+        # Fault hook: may rewrite a frame per delivery (corruption) or return
+        # None to model a link-layer CRC drop.  Installed by a FaultInjector.
+        self.tamper: Optional[Callable[[Frame, int, int], Optional[Frame]]] = None
 
     # -- registration -------------------------------------------------------
 
@@ -100,13 +106,65 @@ class Radio:
         return self._nodes[node_id]
 
     def neighbors(self, node_id: int) -> List[int]:
-        """Registered neighbors of ``node_id``."""
-        return [v for v in self.topology.neighbors.get(node_id, []) if v in self._nodes]
+        """Registered, attached neighbors reachable over up links."""
+        if node_id in self._detached:
+            return []
+        return [
+            v
+            for v in self.topology.neighbors.get(node_id, [])
+            if v in self._nodes
+            and v not in self._detached
+            and (node_id, v) not in self._links_down
+        ]
+
+    # -- fault surface -------------------------------------------------------
+
+    def detach(self, node_id: int) -> None:
+        """Take a node off the air (crash/outage): it neither sends nor hears.
+
+        A frame the node was mid-way through transmitting is aborted — the
+        truncated waveform still occupies the channel until its scheduled end
+        (so overlapping receptions keep colliding) but decodes at nobody.
+        """
+        if node_id not in self._nodes:
+            raise SimulationError(f"cannot detach unknown node {node_id}")
+        if node_id in self._detached:
+            return
+        self._detached.add(node_id)
+        self._queues[node_id].clear()
+        self._backoffs[node_id] = 0
+        for tx in self._active:
+            if tx.sender == node_id:
+                tx.aborted = True
+        self._sending[node_id] = False
+
+    def attach(self, node_id: int) -> None:
+        """Put a detached node back on the air with an empty MAC queue."""
+        if node_id not in self._nodes:
+            raise SimulationError(f"cannot attach unknown node {node_id}")
+        self._detached.discard(node_id)
+
+    def is_detached(self, node_id: int) -> bool:
+        return node_id in self._detached
+
+    def set_link(self, sender: int, receiver: int, up: bool) -> None:
+        """Force a directed link down (churn/partition) or back up."""
+        if up:
+            self._links_down.discard((sender, receiver))
+        else:
+            self._links_down.add((sender, receiver))
+
+    def link_is_up(self, sender: int, receiver: int) -> bool:
+        return (sender, receiver) not in self._links_down
 
     # -- send path -----------------------------------------------------------
 
     def send(self, frame: Frame) -> None:
         """Enqueue a frame on the sender's MAC queue."""
+        if frame.sender in self._detached:
+            # Defensive: a crashed node's stray timer must not transmit.
+            self.trace.count("tx_dropped_detached")
+            return
         self._queues[frame.sender].append(frame)
         self._pump(frame.sender)
 
@@ -143,6 +201,8 @@ class Radio:
         return False
 
     def _pump(self, node_id: int) -> None:
+        if node_id in self._detached:
+            return
         if self._sending[node_id] or not self._queues[node_id]:
             return
         if self._channel_busy(node_id):
@@ -175,6 +235,9 @@ class Radio:
 
     def _finish(self, tx: _Transmission) -> None:
         self._active.remove(tx)
+        if tx.aborted:
+            self.trace.count("tx_aborted")
+            return
         self._sending[tx.sender] = False
         if self.config.collisions:
             self._history.append(tx)
@@ -219,6 +282,12 @@ class Radio:
         if self.loss_model.should_drop(self.rngs, tx.sender, receiver, tx.frame, self.sim.now):
             self.trace.count("rx_lost")
             return
+        frame = tx.frame
+        if self.tamper is not None:
+            frame = self.tamper(frame, tx.sender, receiver)
+            if frame is None:
+                self.trace.count("rx_fault_dropped")
+                return
         self.trace.count("rx_delivered")
-        self.trace.count("rx_delivered_bytes", tx.frame.size_bytes)
-        self._nodes[receiver].on_receive(tx.frame, tx.sender)
+        self.trace.count("rx_delivered_bytes", frame.size_bytes)
+        self._nodes[receiver].on_receive(frame, tx.sender)

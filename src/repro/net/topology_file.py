@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import math
 from pathlib import Path
-from typing import Dict, List, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.errors import ConfigError
 from repro.net.topology import PropagationModel, Topology
@@ -51,7 +51,7 @@ def load_topology(
     path: PathLike,
     name: str = "",
     gain: bool = False,
-    model: PropagationModel = None,
+    model: Optional[PropagationModel] = None,
 ) -> Topology:
     """Parse a TinyOS-style topology file.
 

@@ -20,21 +20,38 @@ class Event:
 
     Instances are returned by :meth:`Simulator.schedule` and may be cancelled
     with :meth:`cancel`; cancelled events stay in the heap but are skipped
-    when popped (lazy deletion).
+    when popped (lazy deletion).  The owning simulator keeps live/cancelled
+    counters so cancellation garbage can be compacted away.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_sim")
 
-    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        fn: Callable[..., Any],
+        args: tuple,
+        sim: "Optional[Simulator]" = None,
+    ):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent this event from firing; safe to call more than once."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        # Cancelling an already-executed event (timers commonly hold stale
+        # references) must not perturb the simulator's live-event counter;
+        # execution severs the back-reference.
+        if self._sim is not None:
+            self._sim._note_cancelled()
+            self._sim = None
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -63,6 +80,8 @@ class Simulator:
         self._seq: int = 0
         self._running: bool = False
         self._processed: int = 0
+        self._live: int = 0        # queued, not-yet-cancelled events
+        self._cancelled: int = 0   # lazy-deletion garbage still in the heap
 
     @property
     def now(self) -> float:
@@ -76,8 +95,22 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of queued, not-yet-cancelled events."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of queued, not-yet-cancelled events (O(1))."""
+        return self._live
+
+    def _note_cancelled(self) -> None:
+        self._live -= 1
+        self._cancelled += 1
+        # Long runs cancel far more timers than ever fire; once garbage
+        # dominates the heap, rebuild it so memory stays proportional to the
+        # live event count.
+        if self._cancelled * 2 > len(self._queue):
+            self._compact()
+
+    def _compact(self) -> None:
+        self._queue = [e for e in self._queue if not e.cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled = 0
 
     def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
@@ -91,9 +124,10 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule event at t={time} before now={self._now}"
             )
-        event = Event(time, self._seq, fn, args)
+        event = Event(time, self._seq, fn, args, sim=self)
         self._seq += 1
         heapq.heappush(self._queue, event)
+        self._live += 1
         return event
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
@@ -112,12 +146,15 @@ class Simulator:
                 event = self._queue[0]
                 if event.cancelled:
                     heapq.heappop(self._queue)
+                    self._cancelled -= 1
                     continue
                 if until is not None and event.time > until:
                     break
                 if max_events is not None and executed >= max_events:
                     break
                 heapq.heappop(self._queue)
+                self._live -= 1
+                event._sim = None  # late cancel() must not double-count
                 self._now = event.time
                 event.fn(*event.args)
                 executed += 1
@@ -131,9 +168,8 @@ class Simulator:
     def run_until_idle(self, max_events: int = 10_000_000) -> int:
         """Run until no events remain; guard against runaway loops."""
         executed = self.run(max_events=max_events)
-        if self._queue and not all(e.cancelled for e in self._queue):
-            if executed >= max_events:
-                raise SimulationError(
-                    f"simulation did not quiesce within {max_events} events"
-                )
+        if self._live > 0 and executed >= max_events:
+            raise SimulationError(
+                f"simulation did not quiesce within {max_events} events"
+            )
         return executed

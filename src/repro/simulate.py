@@ -12,6 +12,15 @@ metrics (plus optional energy accounting)::
 One-hop star runs use the paper's application-layer Bernoulli losses;
 grid/random/file topologies use per-link PRR plus ambient bursts and CSMA
 collisions.
+
+Fault injection (``--fault-plan``, ``--mtbf``, ``--link-flap``) runs the
+scenario on a faulty grid — every receiver gets persistent flash so crashed
+nodes resume from their last completed page after reboot::
+
+    python -m repro.simulate --protocol lr-seluge --image-kib 4 --k 8 --n 12 \\
+        --mtbf 30 --mttr 10
+    python -m repro.simulate --protocol seluge --image-kib 4 --k 8 --n 12 \\
+        --fault-plan plan.json
 """
 
 from __future__ import annotations
@@ -23,13 +32,16 @@ from repro.core.image import CodeImage
 from repro.experiments.energy import estimate_energy
 from repro.experiments.runner import CompletionTracker, run_network
 from repro.experiments.scenarios import (
+    FaultyGridScenario,
     MultiHopScenario,
     OneHopScenario,
     build_protocol_network,
     make_params,
+    run_faulty_grid,
     run_multihop,
     run_one_hop,
 )
+from repro.faults import FaultPlan
 from repro.net.channel import CompositeLoss, GilbertElliottLoss, PerLinkLoss
 from repro.net.radio import Radio, RadioConfig
 from repro.net.topology_file import load_topology
@@ -64,6 +76,20 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--max-time", type=float, default=14400.0)
     parser.add_argument("--energy", action="store_true",
                         help="print the energy breakdown as well")
+    faults = parser.add_argument_group("fault injection (grid topologies)")
+    faults.add_argument("--fault-plan", default=None, metavar="PLAN.json",
+                        help="replay a declarative FaultPlan JSON file")
+    faults.add_argument("--mtbf", type=float, default=None,
+                        help="per-receiver mean time between crashes (s); "
+                             "enables exponential crash/reboot churn")
+    faults.add_argument("--mttr", type=float, default=60.0,
+                        help="mean downtime after a crash (s; with --mtbf)")
+    faults.add_argument("--link-flap", type=float, default=0.0,
+                        help="per-check Bernoulli probability a directed "
+                             "link goes down")
+    faults.add_argument("--churn-horizon", type=float, default=None,
+                        help="stop generating stochastic faults after this "
+                             "time (default: max-time / 2)")
     return parser
 
 
@@ -90,10 +116,33 @@ def _run_from_file(args):
     return result, [n.pipeline for n in nodes], len(nodes) + 1
 
 
+def _run_faulty(args):
+    plan = (
+        FaultPlan.from_json_file(args.fault_plan) if args.fault_plan else None
+    )
+    scenario = FaultyGridScenario(
+        protocol=args.protocol,
+        topology=args.topology or "grid:4x4:3",
+        image_size=args.image_kib * 1024,
+        k=args.k, n=args.n, kprime=args.kprime,
+        seed=args.seed, max_time=args.max_time,
+        plan=plan, mtbf=args.mtbf, mttr=args.mttr,
+        link_flap=args.link_flap, churn_horizon=args.churn_horizon,
+    )
+    return run_faulty_grid(scenario)
+
+
 def main(argv=None) -> int:
     args = _build_parser().parse_args(argv)
+    faulty = bool(args.fault_plan or args.mtbf is not None or args.link_flap)
     pipelines = None
-    if args.topology_file:
+    if faulty:
+        if args.topology_file:
+            raise SystemExit("fault injection needs --topology, "
+                             "not --topology-file")
+        result = _run_faulty(args)
+        n_nodes = (result.n_nodes or 0) + 1
+    elif args.topology_file:
         result, pipelines, n_nodes = _run_from_file(args)
     elif args.topology:
         result = run_multihop(MultiHopScenario(
@@ -119,6 +168,12 @@ def main(argv=None) -> int:
     print(f"advertisements:  {result.adv_packets}")
     print(f"total bytes:     {result.total_bytes}")
     print(f"latency:         {result.latency:.1f} s")
+    if faulty:
+        rate = result.completion_rate
+        print(f"completion rate: {rate:.2%}" if rate is not None
+              else "completion rate: n/a")
+        print(f"crashes:         {result.crash_count}")
+        print(f"reboots:         {result.reboot_count}")
     if args.energy:
         report = estimate_energy(result, n_nodes=n_nodes, pipelines=pipelines)
         print("energy (network-wide):")

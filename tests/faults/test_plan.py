@@ -1,0 +1,161 @@
+"""Unit tests for FaultPlan / FaultEvent and the stochastic generators."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults import (
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    crash_reboot_churn,
+    link_flap_churn,
+)
+from repro.sim.rng import RngRegistry
+
+
+def test_builders_produce_expected_kinds():
+    plan = (
+        FaultPlan()
+        .crash(5.0, node=2, reboot_after=3.0)
+        .link_down(1.0, 0, 1)
+        .link_up(2.0, 0, 1)
+        .partition(4.0, [0, 1], [2, 3], heal_after=2.0)
+        .corrupt(0.5, duration=2.0, rate=0.4, mode="truncate")
+    )
+    kinds = [e.kind for e in plan]
+    assert kinds == [
+        FaultKind.CORRUPT,      # t=0.5
+        FaultKind.LINK_DOWN,    # t=1.0
+        FaultKind.LINK_UP,      # t=2.0
+        FaultKind.PARTITION,    # t=4.0
+        FaultKind.NODE_CRASH,   # t=5.0
+        FaultKind.HEAL,         # t=6.0
+        FaultKind.NODE_REBOOT,  # t=8.0
+    ]
+
+
+def test_events_sorted_stably_by_time():
+    plan = FaultPlan().reboot(3.0, 1).crash(3.0, 2).crash(1.0, 3)
+    events = plan.events
+    assert [e.time for e in events] == [1.0, 3.0, 3.0]
+    # same-time events keep insertion order (reboot added before crash)
+    assert events[1].kind is FaultKind.NODE_REBOOT
+    assert events[2].kind is FaultKind.NODE_CRASH
+
+
+def test_merge_keeps_both_plans_events():
+    a = FaultPlan().crash(1.0, 1)
+    b = FaultPlan().crash(2.0, 2)
+    merged = a.merge(b)
+    assert len(merged) == 2
+    assert len(a) == 1 and len(b) == 1  # inputs untouched
+
+
+def test_json_round_trip():
+    plan = (
+        FaultPlan()
+        .crash(8.0, node=3, reboot_after=15.0)
+        .partition(10.0, [0, 1], [2, 3])
+        .heal(20.0)
+        .corrupt(1.0, duration=5.0, rate=0.25, mode="drop")
+        .link_down(2.0, 4, 5)
+    )
+    restored = FaultPlan.from_json(plan.to_json())
+    assert restored == plan
+
+
+def test_from_json_accepts_bare_list():
+    plan = FaultPlan.from_json('[{"time": 1.0, "kind": "crash", "node": 7}]')
+    assert len(plan) == 1
+    assert plan.events[0].node == 7
+
+
+@pytest.mark.parametrize("bad", [
+    "not json",
+    '{"events": 42}',
+    '{"events": [{"time": 1.0, "kind": "meteor"}]}',
+    '{"events": [{"kind": "crash", "node": 1}]}',
+])
+def test_from_json_rejects_malformed(bad):
+    with pytest.raises(ConfigError):
+        FaultPlan.from_json(bad)
+
+
+def test_event_validation():
+    with pytest.raises(ConfigError):
+        FaultEvent(-1.0, FaultKind.NODE_CRASH, node=1)       # negative time
+    with pytest.raises(ConfigError):
+        FaultEvent(1.0, FaultKind.NODE_CRASH)                # missing node
+    with pytest.raises(ConfigError):
+        FaultEvent(1.0, FaultKind.LINK_DOWN)                 # missing link
+    with pytest.raises(ConfigError):
+        FaultEvent(1.0, FaultKind.PARTITION, groups=((1, 2),))   # one group
+    with pytest.raises(ConfigError):
+        FaultEvent(1.0, FaultKind.PARTITION, groups=((1,), (1,)))  # overlap
+    with pytest.raises(ConfigError):
+        FaultEvent(1.0, FaultKind.CORRUPT, duration=0.0)     # zero duration
+    with pytest.raises(ConfigError):
+        FaultEvent(1.0, FaultKind.CORRUPT, duration=1.0, rate=0.0)
+    with pytest.raises(ConfigError):
+        FaultEvent(1.0, FaultKind.CORRUPT, duration=1.0, mode="scramble")
+    with pytest.raises(ConfigError):
+        FaultPlan().crash(1.0, 1, reboot_after=0.0)
+    with pytest.raises(ConfigError):
+        FaultPlan().partition(1.0, [0], [1], heal_after=-1.0)
+
+
+# -- stochastic generators ----------------------------------------------------
+
+
+def test_crash_reboot_churn_is_deterministic():
+    a = crash_reboot_churn(RngRegistry(42), [1, 2, 3], mtbf=10.0, mttr=5.0,
+                           horizon=100.0)
+    b = crash_reboot_churn(RngRegistry(42), [1, 2, 3], mtbf=10.0, mttr=5.0,
+                           horizon=100.0)
+    assert a == b
+    c = crash_reboot_churn(RngRegistry(43), [1, 2, 3], mtbf=10.0, mttr=5.0,
+                           horizon=100.0)
+    assert a != c
+
+
+def test_crash_reboot_churn_pairs_every_crash_with_a_reboot():
+    plan = crash_reboot_churn(RngRegistry(7), [1, 2], mtbf=5.0, mttr=2.0,
+                              horizon=60.0)
+    crashes = [e for e in plan if e.kind is FaultKind.NODE_CRASH]
+    reboots = [e for e in plan if e.kind is FaultKind.NODE_REBOOT]
+    assert len(crashes) == len(reboots) > 0
+    assert all(e.time < 60.0 for e in crashes)  # crashes respect the horizon
+    # per node, crash/reboot strictly alternate and never overlap
+    for node in (1, 2):
+        times = sorted(
+            (e.time, e.kind) for e in plan if e.node == node
+        )
+        for (t1, k1), (t2, k2) in zip(times, times[1:]):
+            assert k1 != k2
+            assert t2 > t1
+
+
+def test_link_flap_churn_windows_do_not_overlap():
+    plan = link_flap_churn(RngRegistry(3), [(0, 1), (1, 0)], p_flap=0.5,
+                           down_time=4.0, check_interval=2.0, horizon=80.0)
+    downs = [e for e in plan if e.kind is FaultKind.LINK_DOWN]
+    ups = [e for e in plan if e.kind is FaultKind.LINK_UP]
+    assert len(downs) == len(ups) > 0
+    for link in ((0, 1), (1, 0)):
+        events = sorted((e.time, e.kind) for e in plan if e.link == link)
+        for (t1, k1), (t2, k2) in zip(events, events[1:]):
+            assert k1 != k2  # down, up, down, up ...
+
+
+def test_generator_validation():
+    rngs = RngRegistry(1)
+    with pytest.raises(ConfigError):
+        crash_reboot_churn(rngs, [1], mtbf=0.0, mttr=1.0, horizon=10.0)
+    with pytest.raises(ConfigError):
+        crash_reboot_churn(rngs, [1], mtbf=1.0, mttr=-1.0, horizon=10.0)
+    with pytest.raises(ConfigError):
+        link_flap_churn(rngs, [(0, 1)], p_flap=1.5, down_time=1.0,
+                        check_interval=1.0, horizon=10.0)
+    with pytest.raises(ConfigError):
+        link_flap_churn(rngs, [(0, 1)], p_flap=0.5, down_time=0.0,
+                        check_interval=1.0, horizon=10.0)

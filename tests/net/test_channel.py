@@ -118,3 +118,65 @@ def test_noise_trace_has_heavy_periods():
     samples = [trace.noise_at(t * 0.05) for t in range(2000)]
     heavy = sum(1 for x in samples if x > -90)
     assert 0 < heavy < len(samples)
+
+
+def test_gilbert_elliott_empirical_rate_matches_stationary_mix():
+    """Long-run loss rate ~= f_bad*loss_bad + f_good*loss_good where
+    f_bad = mean_bad / (mean_good + mean_bad) (alternating renewal)."""
+    model = GilbertElliottLoss(loss_good=0.05, loss_bad=0.5,
+                               mean_good=6.0, mean_bad=2.0)
+    rate = _drop_rate(model, trials=40000)
+    expected = (6.0 * 0.05 + 2.0 * 0.5) / 8.0  # 0.1625
+    assert abs(rate - expected) < 0.04
+
+
+def test_gilbert_elliott_mean_burst_length():
+    """With loss_good=0 / loss_bad=1, drop bursts trace BAD sojourns: the
+    mean burst length (in samples) should be ~ mean_bad / sample period."""
+    dt = 0.05
+    model = GilbertElliottLoss(loss_good=0.0, loss_bad=1.0,
+                               mean_good=4.0, mean_bad=2.0)
+    rngs = RngRegistry(13)
+    frame = _frame()
+    outcomes = [
+        model.should_drop(rngs, 0, 1, frame, t * dt) for t in range(60000)
+    ]
+    bursts = []
+    run = 0
+    for dropped in outcomes:
+        if dropped:
+            run += 1
+        elif run:
+            bursts.append(run)
+            run = 0
+    assert len(bursts) > 50
+    mean_burst = sum(bursts) / len(bursts)
+    expected = 2.0 / dt  # 40 samples
+    assert 0.6 * expected < mean_burst < 1.5 * expected
+
+
+def test_gilbert_elliott_links_evolve_independently():
+    """Each directed link has its own chain + rng stream: interleaving
+    queries to another link must not perturb the first link's outcomes."""
+    times = [t * 0.05 for t in range(3000)]
+    frame = _frame()
+
+    model_a = GilbertElliottLoss(loss_good=0.0, loss_bad=1.0,
+                                 mean_good=3.0, mean_bad=3.0)
+    rngs_a = RngRegistry(21)
+    alone = [model_a.should_drop(rngs_a, 0, 1, frame, t) for t in times]
+
+    model_b = GilbertElliottLoss(loss_good=0.0, loss_bad=1.0,
+                                 mean_good=3.0, mean_bad=3.0)
+    rngs_b = RngRegistry(21)
+    interleaved = []
+    for t in times:
+        model_b.should_drop(rngs_b, 0, 2, frame, t)  # other link traffic
+        interleaved.append(model_b.should_drop(rngs_b, 0, 1, frame, t))
+        model_b.should_drop(rngs_b, 2, 1, frame, t)
+
+    assert alone == interleaved
+    # and the two links are not mirroring each other's state
+    other = [model_b.should_drop(rngs_b, 0, 2, frame, 3000 * 0.05 + i * 0.05)
+             for i in range(500)]
+    assert other != alone[:500]

@@ -114,3 +114,72 @@ def test_processed_events_accumulates(sim):
         sim.schedule(1.0, lambda: None)
     sim.run()
     assert sim.processed_events == 5
+
+
+def test_pending_events_counts_live_only(sim):
+    events = [sim.schedule(1.0 + i, lambda: None) for i in range(10)]
+    assert sim.pending_events == 10
+    for ev in events[:4]:
+        ev.cancel()
+    assert sim.pending_events == 6
+    sim.run()
+    assert sim.pending_events == 0
+    assert sim.processed_events == 6
+
+
+def test_pending_events_is_o1_not_a_scan(sim):
+    """pending_events must not iterate the queue (it's called per chunk in
+    hot loops): reading it many times with a large queue stays instant."""
+    for i in range(5000):
+        sim.schedule(1.0 + i * 0.001, lambda: None)
+    for _ in range(10000):
+        assert sim.pending_events == 5000
+
+
+def test_compaction_purges_cancelled_events(sim):
+    events = [sim.schedule(10.0 + i, lambda: None) for i in range(100)]
+    assert len(sim._queue) == 100
+    for ev in events[:80]:
+        ev.cancel()
+    # compaction fires whenever tombstones exceed half the heap, so the
+    # queue stays within a small factor of the live count (not 100)
+    assert len(sim._queue) < 2 * 20 + 10
+    assert sim.pending_events == 20
+    fired = []
+    sim.schedule(5.0, fired.append, 1)
+    sim.run()
+    assert fired == [1]
+    assert sim.processed_events == 21
+
+
+def test_cancel_after_execution_does_not_corrupt_count(sim):
+    """Timers often cancel handles that already fired (e.g. a periodic
+    process stopping itself): that must not decrement the live count."""
+    ev = sim.schedule(1.0, lambda: None)
+    later = sim.schedule(2.0, lambda: None)
+    sim.run(until=1.5)
+    ev.cancel()  # already executed: must be a no-op
+    ev.cancel()
+    assert sim.pending_events == 1
+    sim.run()
+    assert sim.processed_events == 2
+    later.cancel()  # executed too: still a no-op
+    assert sim.pending_events == 0
+
+
+def test_cancel_inside_handler_of_same_timestamp(sim):
+    """An event may cancel a sibling scheduled for the same instant."""
+    fired = []
+    second = sim.schedule(1.0, fired.append, 2)
+
+    def first():
+        fired.append(1)
+        second.cancel()
+
+    # 'first' was scheduled after 'second' -> runs second at t=1.0?  No:
+    # insertion order is the tiebreak, so re-schedule first ahead of it.
+    third = sim.schedule(0.5, first)
+    sim.run()
+    assert fired == [1]
+    assert sim.pending_events == 0
+    assert third is not None
