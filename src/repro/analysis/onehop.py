@@ -25,13 +25,14 @@ from __future__ import annotations
 
 import random
 from functools import lru_cache
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.analysis.distributions import (
     binomial_pmf,
     expected_max_geometric,
 )
 from repro.errors import ConfigError
+from repro.sim.rng import derived_stream
 
 __all__ = [
     "seluge_page_expected_tx",
@@ -85,11 +86,14 @@ def ack_lr_expected_tx(
     p: float,
     trials: int = 400,
     seed: int = 12345,
+    rng: Optional[random.Random] = None,
 ) -> float:
     """Expected data transmissions for an ACK-based LR-Seluge image.
 
     Exact DP when ``n_receivers == 1``; deterministic-seed Monte-Carlo over
-    the round model otherwise.
+    the round model otherwise.  Callers embedding this in a larger seeded
+    experiment may inject their own ``rng`` stream; by default one is
+    derived from ``seed``.
     """
     if not 0.0 <= p < 1.0:
         raise ConfigError(f"loss probability {p} outside [0, 1)")
@@ -98,7 +102,8 @@ def ack_lr_expected_tx(
     if n_receivers == 1:
         per_page = _single_receiver_fresh_dp(kprime, n, p)
         return pages * per_page
-    rng = random.Random(seed)
+    if rng is None:
+        rng = derived_stream("analysis/onehop/ack-tx", seed)
     total = 0.0
     for _ in range(trials):
         total += _simulate_ack_rounds(pages, kprime, n, n_receivers, p, rng)[0]
@@ -112,13 +117,15 @@ def ack_lr_round_distribution(
     p: float,
     trials: int = 2000,
     seed: int = 999,
+    rng: Optional[random.Random] = None,
 ) -> List[float]:
     """Empirical distribution of the number of rounds one page takes.
 
     Returns probabilities for 1, 2, 3, ... rounds (the paper highlights the
     1-round/2-round regime shift between p = 0.3 and p = 0.4).
     """
-    rng = random.Random(seed)
+    if rng is None:
+        rng = derived_stream("analysis/onehop/rounds", seed)
     counts: dict = {}
     for _ in range(trials):
         _, rounds = _simulate_ack_rounds(1, kprime, n, n_receivers, p, rng)
@@ -171,7 +178,9 @@ def _simulate_ack_rounds(
                     if deficits[i] > 0:
                         union |= missing[i]
                 total_tx += len(union)
-                for j in union:
+                # Retransmit in index order: iterating the set directly would
+                # tie the rng consumption order to hash order (REP003).
+                for j in sorted(union):
                     for i in range(n_receivers):
                         if deficits[i] > 0 and j in missing[i]:
                             if rng.random() < q:

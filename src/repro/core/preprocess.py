@@ -199,7 +199,8 @@ class SelugePreprocessor:
                 hash_image(pkt.canonical_bytes(), p.wire.hash_len) for pkt in packets
             ]
         page_units.reverse()
-        assert next_hashes is not None
+        if next_hashes is None:
+            raise AssertionError('invariant violated: next_hashes is not None')
 
         # Hash page M0: the k hash images of page 1's packets, split into
         # power-of-two many packets under a Merkle tree.
@@ -309,7 +310,8 @@ class LRSelugePreprocessor:
                 hash_image(pkt.canonical_bytes(), p.wire.hash_len) for pkt in packets
             ]
         page_units.reverse()
-        assert next_hashes is not None
+        if next_hashes is None:
+            raise AssertionError('invariant violated: next_hashes is not None')
 
         # Page 0: the n hash images of page 1's packets, erasure-coded with
         # f0 and authenticated by a Merkle tree over the encoded packets.

@@ -262,7 +262,8 @@ class SelugeReceiver(_SecureReceiver):
             }
             self._serving[unit] = ordered
             return True
-        assert self.total_units is not None
+        if self.total_units is None:
+            raise AssertionError('invariant violated: self.total_units is not None')
         last_unit = self.total_units - 1
         if unit < last_unit:
             slice_len = p.chained_slice
@@ -325,7 +326,8 @@ class LRSelugeReceiver(_SecureReceiver):
                 j: source[j * hash_len : (j + 1) * hash_len] for j in range(p.n)
             }
         else:
-            assert self.total_units is not None
+            if self.total_units is None:
+                raise AssertionError('invariant violated: self.total_units is not None')
             last_unit = self.total_units - 1
             if unit < last_unit:
                 cap = p.page_capacity
@@ -355,7 +357,8 @@ class LRSelugeReceiver(_SecureReceiver):
         code = self.code0 if unit == 1 else self.code
         self.stats["encode_ops"] += 1
         encoded = code.encode(blocks)
-        assert self.version is not None
+        if self.version is None:
+            raise AssertionError('invariant violated: self.version is not None')
         packets = [
             DataPacket(version=self.version, unit=unit, index=j, payload=encoded[j])
             for j in range(len(encoded))

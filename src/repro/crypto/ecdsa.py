@@ -200,7 +200,8 @@ def generate_keypair(seed: int, curve: CurveParams = P192) -> EcdsaKeyPair:
     digest = hashlib.sha256(f"ecdsa-key:{seed}".encode()).digest()
     priv = (int.from_bytes(digest, "big") % (curve.order - 1)) + 1
     pub = _to_affine(_jac_mul(priv, _base_point(curve), curve), curve)
-    assert pub is not None
+    if pub is None:
+        raise AssertionError('invariant violated: pub is not None')
     return EcdsaKeyPair(private=priv, public=pub, curve=curve)
 
 
@@ -211,7 +212,8 @@ def sign(message: bytes, keypair: EcdsaKeyPair) -> EcdsaSignature:
     k = _rfc6979_nonce(keypair.private, e, curve)
     while True:
         point = _to_affine(_jac_mul(k, _base_point(curve), curve), curve)
-        assert point is not None
+        if point is None:
+            raise AssertionError('invariant violated: point is not None')
         r = point[0] % curve.order
         if r == 0:
             k = (k + 1) % curve.order or 1

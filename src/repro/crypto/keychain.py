@@ -29,7 +29,7 @@ def _advance(key: bytes) -> bytes:
 class KeyChain:
     """Owner-side chain: generates and discloses per-version keys."""
 
-    def __init__(self, length: int, seed: int = 0):
+    def __init__(self, length: int, seed: int = 0) -> None:
         if length < 1:
             raise ConfigError(f"chain length must be >= 1, got {length}")
         self.length = length

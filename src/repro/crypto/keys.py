@@ -24,7 +24,7 @@ class ClusterKey:
     default, the common TinySec-era size).
     """
 
-    def __init__(self, secret: bytes, mac_len: int = 4):
+    def __init__(self, secret: bytes, mac_len: int = 4) -> None:
         if not 4 <= mac_len <= 32:
             raise ConfigError(f"mac length {mac_len} outside [4, 32]")
         if len(secret) < 8:

@@ -28,7 +28,7 @@ class MerkleTree:
     the root.  Internal nodes are ``H(left || right)``.
     """
 
-    def __init__(self, leaves_data: Sequence[bytes], hash_len: int = DEFAULT_HASH_LEN):
+    def __init__(self, leaves_data: Sequence[bytes], hash_len: int = DEFAULT_HASH_LEN) -> None:
         if not _is_power_of_two(len(leaves_data)):
             raise ConfigError(
                 f"Merkle tree needs a power-of-two leaf count, got {len(leaves_data)}"

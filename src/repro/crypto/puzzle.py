@@ -43,9 +43,11 @@ class MessageSpecificPuzzle:
     doubles the expected forging work while leaving verification at one hash.
     """
 
-    def __init__(self, difficulty: int = 12, key_len: int = 8):
+    def __init__(self, difficulty: int = 12, key_len: int = 8) -> None:
         if not 1 <= difficulty <= 28:
             raise ConfigError(f"puzzle difficulty {difficulty} outside [1, 28]")
+        if not 1 <= key_len <= 64:
+            raise ConfigError(f"puzzle key length {key_len} outside [1, 64]")
         self.difficulty = difficulty
         self.key_len = key_len
         self._mask = (1 << difficulty) - 1
@@ -58,16 +60,36 @@ class MessageSpecificPuzzle:
 
     def solve(self, message: bytes, key: bytes) -> PuzzleSolution:
         """Search for a valid solution (sender side; base station only)."""
+        if len(key) != self.key_len:
+            raise ConfigError(
+                f"puzzle key must be {self.key_len} bytes, got {len(key)}"
+            )
         solution = 0
         while self._digest_tail(message, key, solution) != 0:
             solution += 1
         return PuzzleSolution(key=key, solution=solution, difficulty=self.difficulty)
 
     def check(self, message: bytes, candidate: PuzzleSolution) -> bool:
-        """Verify a claimed solution with a single hash (receiver side)."""
+        """Verify a claimed solution with a single hash (receiver side).
+
+        The candidate is attacker-controlled (it arrives in a signature
+        packet), so malformed shapes — wrong types, out-of-range solution
+        values, wrong key length — are *rejected*, never raised: a node
+        filtering a flood of bogus packets must not crash on the first
+        garbage one.
+        """
         if candidate.difficulty != self.difficulty:
             return False
-        return self._digest_tail(message, candidate.key, candidate.solution) == 0
+        if not isinstance(candidate.key, (bytes, bytearray)):
+            return False
+        if len(candidate.key) != self.key_len:
+            return False
+        solution = candidate.solution
+        if isinstance(solution, bool) or not isinstance(solution, int):
+            return False
+        if not 0 <= solution < (1 << 64):
+            return False
+        return self._digest_tail(message, bytes(candidate.key), solution) == 0
 
     def expected_work(self) -> int:
         """Expected number of hash evaluations an adversary needs per forgery."""

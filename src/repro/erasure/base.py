@@ -40,7 +40,7 @@ def array_to_blocks(array: np.ndarray) -> List[bytes]:
 class ErasureCode(abc.ABC):
     """Abstract fixed-rate erasure code with parameters ``k``, ``n``, ``k'``."""
 
-    def __init__(self, k: int, n: int, kprime: int):
+    def __init__(self, k: int, n: int, kprime: int) -> None:
         if k < 1:
             raise CodingError(f"k must be >= 1, got {k}")
         if n < k:

@@ -16,13 +16,12 @@ the real figure.
 
 from __future__ import annotations
 
-import hashlib
 import math
-import random
-from typing import List
+from typing import Dict, List
 
 from repro.erasure.xor_base import XorErasureCode
 from repro.errors import CodingError
+from repro.sim.rng import derived_stream
 
 __all__ = ["LTCode", "robust_soliton"]
 
@@ -58,7 +57,7 @@ class LTCode(XorErasureCode):
     """Fixed-rate LT code: the first ``n`` symbols of a seeded LT stream."""
 
     def __init__(self, k: int, n: int, kprime: int = 0, seed: int = 0,
-                 generation: int = 0, c: float = 0.1, delta: float = 0.5):
+                 generation: int = 0, c: float = 0.1, delta: float = 0.5) -> None:
         if not kprime:
             # ~90th-percentile of the empirical reception overhead: mean is
             # ~sqrt(k)·ln(k)·0.35 for this distribution; failing a decode
@@ -74,17 +73,16 @@ class LTCode(XorErasureCode):
         for p in self._dist:
             acc += p
             self._cdf.append(acc)
-        self._mask_cache: dict = {}
+        self._mask_cache: Dict[int, int] = {}
         self._ensure_full_rank()
 
     def symbol_mask(self, index: int) -> int:
         mask = self._mask_cache.get(index)
         if mask is not None:
             return mask
-        digest = hashlib.sha256(
-            f"lt:{self.seed}:{self.generation}:{index}".encode()
-        ).digest()
-        rng = random.Random(int.from_bytes(digest[:8], "big"))
+        # Derived, not injected: symbol identity across nodes requires the
+        # stream to be a pure function of (seed, generation, index).
+        rng = derived_stream("lt", self.seed, self.generation, index)
         u = rng.random()
         degree = 1 + next(
             (d for d, cum in enumerate(self._cdf) if u <= cum), self.k - 1

@@ -71,7 +71,8 @@ def gf_invert(matrix: np.ndarray) -> np.ndarray:
     if rank < n:
         raise DecodeError(f"matrix is singular (rank {rank} < {n})")
     del rref
-    assert inv is not None
+    if inv is None:
+        raise AssertionError('invariant violated: inv is not None')
     return inv
 
 
@@ -90,7 +91,8 @@ def gf_solve(coeffs: np.ndarray, payloads: np.ndarray) -> np.ndarray:
     rref, reduced, rank = gf_rref(coeffs, payloads)
     if rank < k:
         raise DecodeError(f"system is rank-deficient (rank {rank} < {k})")
-    assert reduced is not None
+    if reduced is None:
+        raise AssertionError('invariant violated: reduced is not None')
     # After full reduction the first k pivot rows carry the solution in order.
     solution = np.zeros((k, payloads.shape[1]), dtype=np.uint8)
     for r in range(rank):

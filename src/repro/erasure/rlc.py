@@ -18,7 +18,7 @@ requirement that "every node can generate the same n encoded packets".
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, List, Sequence
+from typing import Dict, Iterable, List, Sequence
 
 import numpy as np
 
@@ -57,7 +57,7 @@ class RandomLinearCode(ErasureCode):
     still well-defined, which provides the rateless mode.
     """
 
-    def __init__(self, k: int, n: int, kprime: int = 0, seed: int = 0, generation: int = 0):
+    def __init__(self, k: int, n: int, kprime: int = 0, seed: int = 0, generation: int = 0) -> None:
         super().__init__(k, n, kprime or min(n, k + 2))
         self.seed = seed
         self.generation = generation
@@ -82,7 +82,7 @@ class RandomLinearCode(ErasureCode):
             raise CodingError(f"expected {self.k} source blocks, got {len(blocks)}")
         return self.encode_indices(blocks, range(self.n))
 
-    def encode_indices(self, blocks: Sequence[bytes], indices) -> List[bytes]:
+    def encode_indices(self, blocks: Sequence[bytes], indices: Iterable[int]) -> List[bytes]:
         """Encode only the requested indices (supports rateless operation)."""
         data = blocks_to_array(blocks)
         out: List[bytes] = []

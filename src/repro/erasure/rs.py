@@ -27,7 +27,7 @@ __all__ = ["ReedSolomonCode"]
 class ReedSolomonCode(ErasureCode):
     """Systematic MDS code: encoded blocks 0..k-1 are the source itself."""
 
-    def __init__(self, k: int, n: int, kprime: int = 0):
+    def __init__(self, k: int, n: int, kprime: int = 0) -> None:
         super().__init__(k, n, kprime or k)
         if n > 256:
             raise CodingError(f"RS over GF(256) supports n <= 256, got {n}")

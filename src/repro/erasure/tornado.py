@@ -17,11 +17,11 @@ available separately via :class:`repro.erasure.lt.LTCode`.
 
 from __future__ import annotations
 
-import hashlib
 import math
-import random
+from typing import Dict
 
 from repro.erasure.xor_base import XorErasureCode
+from repro.sim.rng import derived_stream
 
 __all__ = ["TornadoCode"]
 
@@ -30,13 +30,13 @@ class TornadoCode(XorErasureCode):
     """Systematic XOR code with dense random parities."""
 
     def __init__(self, k: int, n: int, kprime: int = 0, seed: int = 0,
-                 generation: int = 0):
+                 generation: int = 0) -> None:
         if not kprime:
             kprime = min(n, k + max(2, int(math.ceil(0.08 * k)) + 1))
         super().__init__(k, n, kprime)
         self.seed = seed
         self.generation = generation
-        self._parity_masks: dict = {}
+        self._parity_masks: Dict[int, int] = {}
         self._ensure_full_rank()
 
     def symbol_mask(self, index: int) -> int:
@@ -45,10 +45,10 @@ class TornadoCode(XorErasureCode):
         mask = self._parity_masks.get(index)
         if mask is not None:
             return mask
-        digest = hashlib.sha256(
-            f"tornado:{self.seed}:{self.generation}:{index}".encode()
-        ).digest()
-        rng = random.Random(int.from_bytes(digest[:8], "big"))
+        # Derived, not injected: every node must reproduce the identical
+        # parity graph from (seed, generation, index) alone, so the stream
+        # comes from the sanctioned per-name derivation in sim/rng.
+        rng = derived_stream("tornado", self.seed, self.generation, index)
         degree = max(2, self.k // 2 + rng.choice((-1, 0, 1)))
         degree = min(degree, self.k)
         mask = 0

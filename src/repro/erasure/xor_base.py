@@ -12,12 +12,14 @@ overhead the paper attributes to its erasure code.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.erasure.base import ErasureCode, blocks_to_array
 from repro.errors import CodingError, DecodeError
+from repro.sim.rng import derived_stream
 
 __all__ = ["XorErasureCode", "gf2_rank"]
 
@@ -154,15 +156,22 @@ class XorErasureCode(ErasureCode):
             return False
         return gf2_rank([self.symbol_mask(i) for i in indices]) == self.k
 
-    def empirical_overhead(self, trials: int = 200, seed: int = 0) -> float:
+    def empirical_overhead(
+        self,
+        trials: int = 200,
+        seed: int = 0,
+        rng: Optional[random.Random] = None,
+    ) -> float:
         """Mean extra symbols (beyond k) needed to decode random receptions.
 
         Measures the code's true reception overhead — the quantity the
-        protocol's declared ``k'`` must cover.
+        protocol's declared ``k'`` must cover.  Pass an injected ``rng`` to
+        share a stream with the caller; by default an independent stream is
+        derived from ``seed`` and the code's parameters.
         """
-        import random
-
-        rng = random.Random(seed)
+        if rng is None:
+            rng = derived_stream("erasure/overhead", type(self).__name__,
+                                 self.k, self.n, seed)
         total_extra = 0
         for _ in range(trials):
             order = list(range(self.n))

@@ -16,10 +16,10 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 
 from repro.experiments import figures, tables
 from repro.experiments.ablations import ablate_burstiness, ablate_overhead, ablate_scheduler
+from repro.experiments.reporting import stopwatch
 
 
 def _fig3a(quick: bool):
@@ -106,9 +106,8 @@ def main(argv=None) -> int:
 
     names = sorted(_TARGETS) if args.target == "all" else [args.target]
     for name in names:
-        started = time.time()
-        result = _TARGETS[name](args.quick)
-        elapsed = time.time() - started
+        with stopwatch() as elapsed:
+            result = _TARGETS[name](args.quick)
         results = result if isinstance(result, list) else [result]
         for i, r in enumerate(results):
             print(r.report())
@@ -120,7 +119,7 @@ def main(argv=None) -> int:
                 directory.mkdir(parents=True, exist_ok=True)
                 suffix = f"_{i}" if len(results) > 1 else ""
                 r.save(directory / f"{name}{suffix}.csv")
-        print(f"[{name} regenerated in {elapsed:.1f}s]")
+        print(f"[{name} regenerated in {elapsed():.1f}s]")
         print()
     return 0
 

@@ -1,10 +1,35 @@
-"""Plain-text report tables for regenerated figures and tables."""
+"""Plain-text report tables for regenerated figures and tables.
+
+This module is also the repository's *only* sanctioned wall-clock call site
+(replint REP002): CLI progress timing goes through :func:`stopwatch`, so
+simulation logic everywhere else stays a pure function of (config, seed).
+"""
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Sequence
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Sequence
 
-__all__ = ["format_table", "format_comparison"]
+__all__ = ["format_table", "format_comparison", "stopwatch"]
+
+
+@contextmanager
+def stopwatch() -> Iterator[Callable[[], float]]:
+    """Measure wall-clock duration for CLI reporting.
+
+    Yields a zero-argument callable returning the seconds elapsed since the
+    block was entered (monotonic, via :func:`time.perf_counter`)::
+
+        with stopwatch() as elapsed:
+            run_everything()
+        print(f"done in {elapsed():.1f}s")
+
+    Any other wall-clock read in this repository is a REP002 violation —
+    simulated time lives exclusively on the event engine.
+    """
+    start = time.perf_counter()
+    yield lambda: time.perf_counter() - start
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str = "") -> str:

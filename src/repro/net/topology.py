@@ -162,12 +162,15 @@ def _repair_connectivity(topo: Topology, model: PropagationModel) -> int:
         if not unreachable:
             return added
         best: Optional[Tuple[float, int, int]] = None
-        for u in reachable:
+        # Sorted scan so equal-distance candidates tie-break by node id
+        # instead of set hash order (REP003).
+        for u in sorted(reachable):
             for v in unreachable:
                 d = topo.distance(u, v)
                 if best is None or d < best[0]:
                     best = (d, u, v)
-        assert best is not None
+        if best is None:
+            raise AssertionError('invariant violated: best is not None')
         _, u, v = best
         rx = model.rx_power(best[0], 0.0)
         prr = max(model.prr(rx), 0.5)  # surveyed link: at least usable

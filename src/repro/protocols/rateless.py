@@ -93,7 +93,8 @@ class RatelessReceiver(ReceiverPipeline):
         code = self.code_for(unit)
         self.stats["encode_ops"] += 1
         payload = code.encode_indices(blocks, [index])[0]
-        assert self.version is not None
+        if self.version is None:
+            raise AssertionError('invariant violated: self.version is not None')
         return DataPacket(version=self.version, unit=unit, index=index, payload=payload)
 
     def preload(self, pre: PreprocessedImage) -> None:

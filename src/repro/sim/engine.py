@@ -8,7 +8,7 @@ scheduling order, which keeps runs deterministic for a fixed seed.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
 
@@ -31,9 +31,9 @@ class Event:
         time: float,
         seq: int,
         fn: Callable[..., Any],
-        args: tuple,
+        args: Tuple[Any, ...],
         sim: "Optional[Simulator]" = None,
-    ):
+    ) -> None:
         self.time = time
         self.seq = seq
         self.fn = fn

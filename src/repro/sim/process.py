@@ -21,7 +21,7 @@ class Timer:
     one expiry is ever pending.
     """
 
-    def __init__(self, sim: Simulator, fn: Callable[..., Any]):
+    def __init__(self, sim: Simulator, fn: Callable[..., Any]) -> None:
         self._sim = sim
         self._fn = fn
         self._event: Optional[Event] = None
@@ -67,7 +67,7 @@ class PeriodicProcess:
         fn: Callable[[], Any],
         interval: Union[float, Callable[[], float]],
         start_delay: Optional[float] = None,
-    ):
+    ) -> None:
         self._sim = sim
         self._fn = fn
         self._interval = interval

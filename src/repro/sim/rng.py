@@ -14,13 +14,27 @@ from typing import Dict
 
 import numpy as np
 
-__all__ = ["RngRegistry", "derive_seed"]
+__all__ = ["RngRegistry", "derive_seed", "derived_stream"]
 
 
 def derive_seed(root_seed: int, name: str) -> int:
     """Derive a stable 64-bit child seed from a root seed and a stream name."""
     digest = hashlib.sha256(f"{root_seed}:{name}".encode("utf-8")).digest()
     return int.from_bytes(digest[:8], "big")
+
+
+def derived_stream(*parts: object) -> random.Random:
+    """A fresh stream seeded purely from ``parts`` (the sanctioned factory).
+
+    This is the one place library code may turn seed material into a
+    :class:`random.Random`: components that cannot take an injected stream
+    (e.g. per-symbol derivations that every node must reproduce identically)
+    call ``derived_stream("tornado", seed, generation, index)`` and get the
+    same stream on every node, every run, every platform.  replint's REP001
+    forbids constructing streams anywhere else in ``src/``.
+    """
+    material = ":".join(str(part) for part in parts)
+    return random.Random(derive_seed(0, material))
 
 
 class RngRegistry:
@@ -31,7 +45,7 @@ class RngRegistry:
     ``(root_seed, "loss/node-3")``.
     """
 
-    def __init__(self, root_seed: int = 0):
+    def __init__(self, root_seed: int = 0) -> None:
         self.root_seed = int(root_seed)
         self._streams: Dict[str, random.Random] = {}
         self._np_streams: Dict[str, np.random.Generator] = {}

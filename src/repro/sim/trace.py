@@ -33,7 +33,7 @@ class TraceRecord:
 class TraceRecorder:
     """Accumulates named counters and (optionally) full trace records."""
 
-    def __init__(self, keep_records: bool = False):
+    def __init__(self, keep_records: bool = False) -> None:
         self.counters: Counter = Counter()
         self.keep_records = keep_records
         self.records: List[TraceRecord] = []

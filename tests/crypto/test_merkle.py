@@ -104,3 +104,65 @@ def test_property_every_leaf_verifies_and_forgeries_fail(log_n, salt):
     for i in range(n):
         assert verify_merkle_path(leaves[i], i, tree.auth_path(i), tree.root)
         assert not verify_merkle_path(leaves[i] + b"x", i, tree.auth_path(i), tree.root)
+
+
+# ---------------------------------------------------------------------------
+# Adversarial paths: odd leaf counts, truncated/padded/tampered sibling paths.
+# ---------------------------------------------------------------------------
+
+def test_odd_leaf_counts_rejected():
+    """The wire format fixes n0 = 2**d; odd trees must never be built."""
+    for odd in (3, 5, 7, 9, 15, 31, 33):
+        with pytest.raises(ConfigError):
+            MerkleTree(_leaves(odd))
+
+
+def test_every_sibling_tampered_rejected():
+    """Flipping any single byte at any depth of the path must break it."""
+    leaves = _leaves(16)
+    tree = MerkleTree(leaves)
+    for index in (0, 7, 15):
+        path = tree.auth_path(index)
+        for depth in range(len(path)):
+            tampered = list(path)
+            broken = bytearray(tampered[depth])
+            broken[0] ^= 0x01
+            tampered[depth] = bytes(broken)
+            assert not verify_merkle_path(leaves[index], index, tampered, tree.root)
+            with pytest.raises(AuthenticationError):
+                require_valid_merkle_path(leaves[index], index, tampered, tree.root)
+
+
+def test_truncated_and_padded_paths_rejected():
+    leaves = _leaves(8)
+    tree = MerkleTree(leaves)
+    path = tree.auth_path(2)
+    assert not verify_merkle_path(leaves[2], 2, path[:-1], tree.root)
+    assert not verify_merkle_path(leaves[2], 2, path[1:], tree.root)
+    assert not verify_merkle_path(leaves[2], 2, path + [path[0]], tree.root)
+
+
+def test_reordered_siblings_rejected():
+    leaves = _leaves(8)
+    tree = MerkleTree(leaves)
+    path = tree.auth_path(5)
+    swapped = [path[1], path[0], path[2]]
+    assert not verify_merkle_path(leaves[5], 5, swapped, tree.root)
+
+
+def test_path_from_other_leaf_rejected():
+    leaves = _leaves(8)
+    tree = MerkleTree(leaves)
+    for other in (0, 1, 7):
+        if other != 4:
+            assert not verify_merkle_path(leaves[4], 4, tree.auth_path(other), tree.root)
+
+
+def test_cross_tree_root_substitution_rejected():
+    """A path that verifies against an attacker's root must not verify ours."""
+    honest = MerkleTree(_leaves(8))
+    forged_leaves = [b"evil" + bytes([i]) * 16 for i in range(8)]
+    forged = MerkleTree(forged_leaves)
+    path = forged.auth_path(3)
+    assert verify_merkle_path(forged_leaves[3], 3, path, forged.root)
+    assert not verify_merkle_path(forged_leaves[3], 3, path, honest.root)

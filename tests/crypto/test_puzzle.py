@@ -58,3 +58,54 @@ def test_random_guess_rarely_valid():
         for s in range(64)
     )
     assert hits <= 1  # expected 64 / 4096
+
+
+# ---------------------------------------------------------------------------
+# Adversarial paths: a receiver filtering a flood of bogus signature packets
+# must *reject* malformed solutions, never crash on them.
+# ---------------------------------------------------------------------------
+
+def test_malformed_solution_values_rejected_not_raised():
+    puzzle = MessageSpecificPuzzle(difficulty=6)
+    good = puzzle.solve(b"msg", b"key-0001")
+    for bad_solution in (-1, 1 << 64, (1 << 70) + 3, True, None, "7", 3.5):
+        candidate = PuzzleSolution(key=good.key, solution=bad_solution,
+                                   difficulty=good.difficulty)
+        assert puzzle.check(b"msg", candidate) is False
+
+
+def test_malformed_key_shapes_rejected_not_raised():
+    puzzle = MessageSpecificPuzzle(difficulty=6)
+    good = puzzle.solve(b"msg", b"key-0001")
+    for bad_key in (b"", b"short", b"far-too-long-key", "key-0001", None, 1234):
+        candidate = PuzzleSolution(key=bad_key, solution=good.solution,
+                                   difficulty=good.difficulty)
+        assert puzzle.check(b"msg", candidate) is False
+
+
+def test_bytearray_key_of_right_length_is_accepted():
+    puzzle = MessageSpecificPuzzle(difficulty=6)
+    good = puzzle.solve(b"msg", b"key-0001")
+    candidate = PuzzleSolution(key=bytearray(good.key), solution=good.solution,
+                               difficulty=good.difficulty)
+    assert puzzle.check(b"msg", candidate)
+
+
+def test_solve_rejects_wrong_length_key():
+    puzzle = MessageSpecificPuzzle(difficulty=6, key_len=8)
+    with pytest.raises(ConfigError):
+        puzzle.solve(b"msg", b"tiny")
+
+
+def test_invalid_key_len_config():
+    for bad in (0, -3, 65):
+        with pytest.raises(ConfigError):
+            MessageSpecificPuzzle(difficulty=6, key_len=bad)
+
+
+def test_difficulty_forgery_does_not_bypass_mask():
+    """Claiming an easier difficulty than the verifier's must not help."""
+    verifier = MessageSpecificPuzzle(difficulty=12)
+    easy = MessageSpecificPuzzle(difficulty=1)
+    solution = easy.solve(b"msg", b"key-0001")
+    assert not verifier.check(b"msg", solution)

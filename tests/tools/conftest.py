@@ -1,0 +1,14 @@
+"""Make the ``tools/`` packages importable for the replint test suite.
+
+The tier-1 invocation only puts ``src`` on PYTHONPATH; replint lives under
+``tools/`` (it is repo tooling, not part of the shipped ``repro`` package).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_TOOLS_DIR = str(Path(__file__).resolve().parents[2] / "tools")
+if _TOOLS_DIR not in sys.path:
+    sys.path.insert(0, _TOOLS_DIR)

@@ -1,0 +1,777 @@
+"""Tests for the replint static-analysis suite.
+
+Every rule gets at least one fixture that triggers it and one that passes.
+The suppression, baseline, ``--fix`` and CLI layers are exercised end to end
+against temporary trees.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from replint import Baseline, analyze_source
+from replint.cli import main
+from replint.finding import RULES, RULES_BY_CODE, Severity
+from replint.fixes import fix_source
+
+SRC = "src/repro/protocols/example.py"  # generic library-code path
+
+
+def codes(findings, *, include_suppressed=False):
+    return sorted(
+        f.rule for f in findings if include_suppressed or not f.suppressed
+    )
+
+
+def run(source: str, relpath: str = SRC, select=None):
+    return analyze_source(textwrap.dedent(source), relpath, select=select)
+
+
+# ---------------------------------------------------------------------------
+# Rule registry sanity
+# ---------------------------------------------------------------------------
+
+def test_registry_is_complete():
+    from replint.rules import RULE_CHECKS
+
+    assert [r.code for r in RULES] == sorted(RULE_CHECKS)
+    assert all(r.code in RULES_BY_CODE for r in RULES)
+    assert all(r.summary and r.rationale for r in RULES)
+
+
+# ---------------------------------------------------------------------------
+# REP001 — global-random
+# ---------------------------------------------------------------------------
+
+def test_rep001_flags_global_random_calls():
+    findings = run(
+        """
+        import random
+
+        def jitter():
+            return random.random() * 2
+        """
+    )
+    assert "REP001" in codes(findings)
+
+
+def test_rep001_flags_stream_construction_in_src():
+    findings = run(
+        """
+        import random
+
+        def make(seed):
+            return random.Random(seed)
+        """
+    )
+    assert "REP001" in codes(findings)
+
+
+def test_rep001_flags_numpy_global_random():
+    findings = run(
+        """
+        import numpy as np
+
+        def noise():
+            np.random.seed(0)
+            return np.random.rand(4)
+        """
+    )
+    assert codes(findings).count("REP001") == 2
+
+
+def test_rep001_allows_rng_module_and_injected_streams():
+    sanctioned = run(
+        """
+        import random
+
+        def derived_stream(seed):
+            return random.Random(seed)
+        """,
+        relpath="src/repro/sim/rng.py",
+    )
+    assert codes(sanctioned) == []
+
+    injected = run(
+        """
+        def sample(rng):
+            return rng.random()
+        """
+    )
+    assert codes(injected) == []
+
+
+def test_rep001_allows_seeded_fixture_streams_in_tests():
+    findings = run(
+        """
+        import random
+        import numpy as np
+
+        def make_fixture():
+            return random.Random(42), np.random.default_rng(7)
+        """,
+        relpath="tests/test_example.py",
+    )
+    assert codes(findings) == []
+    # ...but unseeded generators and global draws stay flagged even in tests.
+    bad = run(
+        """
+        import numpy as np
+
+        def make_fixture():
+            return np.random.default_rng()
+        """,
+        relpath="tests/test_example.py",
+    )
+    assert "REP001" in codes(bad)
+
+
+# ---------------------------------------------------------------------------
+# REP002 — wall-clock
+# ---------------------------------------------------------------------------
+
+def test_rep002_flags_wall_clock_reads():
+    findings = run(
+        """
+        import time
+        from datetime import datetime
+
+        def stamp():
+            return time.time(), time.monotonic(), datetime.now()
+        """
+    )
+    assert codes(findings).count("REP002") == 3
+
+
+def test_rep002_allows_the_reporting_shim():
+    findings = run(
+        """
+        import time
+
+        def stopwatch():
+            return time.perf_counter()
+        """,
+        relpath="src/repro/experiments/reporting.py",
+    )
+    assert codes(findings) == []
+
+
+# ---------------------------------------------------------------------------
+# REP003 — unordered-iteration
+# ---------------------------------------------------------------------------
+
+def test_rep003_flags_set_iteration():
+    findings = run(
+        """
+        def emit(packets, send):
+            pending = set(packets)
+            for p in pending:
+                send(p)
+        """
+    )
+    assert "REP003" in codes(findings)
+
+
+def test_rep003_flags_set_algebra_and_list_conversion():
+    findings = run(
+        """
+        def union_order(a, b):
+            merged = set(a) | set(b)
+            return list(merged)
+        """
+    )
+    assert "REP003" in codes(findings)
+
+
+def test_rep003_allows_sorted_iteration():
+    findings = run(
+        """
+        def emit(packets, send):
+            pending = set(packets)
+            for p in sorted(pending):
+                send(p)
+            return len(pending), sum(pending), max(pending)
+        """
+    )
+    assert codes(findings) == []
+
+
+def test_rep003_reassignment_clears_tracking():
+    findings = run(
+        """
+        def rebind(items):
+            xs = set(items)
+            xs = sorted(xs)
+            for x in xs:
+                yield x
+        """
+    )
+    assert codes(findings) == []
+
+
+# ---------------------------------------------------------------------------
+# REP004 — crypto-hygiene
+# ---------------------------------------------------------------------------
+
+def test_rep004_flags_weak_hashes_anywhere():
+    findings = run(
+        """
+        import hashlib
+
+        def fingerprint(data):
+            return hashlib.md5(data).digest(), hashlib.new("sha1", data)
+        """
+    )
+    assert codes(findings).count("REP004") == 2
+
+
+def test_rep004_flags_random_in_crypto():
+    findings = run(
+        """
+        import random
+
+        def make_nonce():
+            return random.getrandbits(64)
+        """,
+        relpath="src/repro/crypto/nonce.py",
+        select={"REP004"},
+    )
+    assert codes(findings) == ["REP004"]
+
+
+def test_rep004_allows_sha256_and_noncrypto_randomness():
+    findings = run(
+        """
+        import hashlib
+
+        def fingerprint(data):
+            return hashlib.sha256(data).digest()
+        """,
+        relpath="src/repro/crypto/hashing.py",
+    )
+    assert codes(findings) == []
+    # The random module outside crypto/ is REP001's business, not REP004's.
+    elsewhere = run(
+        """
+        import random
+
+        def draw():
+            return random.random()
+        """,
+        select={"REP004"},
+    )
+    assert codes(elsewhere) == []
+
+
+# ---------------------------------------------------------------------------
+# REP005 — swallowed-exceptions
+# ---------------------------------------------------------------------------
+
+def test_rep005_flags_bare_and_swallowing_excepts():
+    findings = run(
+        """
+        def handle(pkt, process):
+            try:
+                process(pkt)
+            except:
+                pass
+
+        def handle2(pkt, process):
+            try:
+                process(pkt)
+            except Exception:
+                pass
+        """
+    )
+    assert codes(findings).count("REP005") == 2
+
+
+def test_rep005_allows_narrow_and_handled_excepts():
+    findings = run(
+        """
+        def handle(pkt, process, log):
+            try:
+                process(pkt)
+            except ValueError:
+                pass
+            except Exception as exc:
+                log(exc)
+                raise
+        """
+    )
+    assert codes(findings) == []
+
+
+# ---------------------------------------------------------------------------
+# REP006 — mutable-default
+# ---------------------------------------------------------------------------
+
+def test_rep006_flags_mutable_defaults():
+    findings = run(
+        """
+        def enqueue(item, queue=[]):
+            queue.append(item)
+            return queue
+
+        def tally(key, counts={}, *, seen=set()):
+            counts[key] = counts.get(key, 0) + 1
+            seen.add(key)
+            return counts
+        """
+    )
+    assert codes(findings).count("REP006") == 3
+
+
+def test_rep006_allows_none_and_immutable_defaults():
+    findings = run(
+        """
+        def enqueue(item, queue=None, limits=(), name="q"):
+            if queue is None:
+                queue = []
+            queue.append(item)
+            return queue
+        """
+    )
+    assert codes(findings) == []
+
+
+# ---------------------------------------------------------------------------
+# REP007 — handler-purity
+# ---------------------------------------------------------------------------
+
+def test_rep007_flags_handlers_touching_module_state():
+    findings = run(
+        """
+        EVENTS = []
+        COUNTS = {}
+
+        class Node:
+            def start(self, sim):
+                sim.schedule(1.0, self.on_timer)
+
+            def on_timer(self):
+                EVENTS.append("fired")
+                COUNTS["fired"] = COUNTS.get("fired", 0) + 1
+        """
+    )
+    assert codes(findings).count("REP007") == 2
+
+
+def test_rep007_flags_global_declarations_in_handlers():
+    findings = run(
+        """
+        TICKS = 0
+
+        def on_tick():
+            global TICKS
+            TICKS += 1
+
+        def start(sim):
+            sim.schedule_at(0.0, on_tick)
+        """
+    )
+    assert "REP007" in codes(findings)
+
+
+def test_rep007_allows_instance_state_and_unscheduled_functions():
+    findings = run(
+        """
+        EVENTS = []
+
+        class Node:
+            def __init__(self):
+                self.fired = 0
+
+            def start(self, sim):
+                sim.schedule(1.0, self.on_timer)
+
+            def on_timer(self):
+                self.fired += 1
+
+        def not_a_handler():
+            EVENTS.append("ok here: never scheduled on the engine")
+        """
+    )
+    assert codes(findings) == []
+
+
+# ---------------------------------------------------------------------------
+# REP008 — assert-validation
+# ---------------------------------------------------------------------------
+
+def test_rep008_flags_asserts_in_src():
+    findings = run(
+        """
+        def decode(blocks):
+            assert blocks, "no blocks"
+            return blocks[0]
+        """
+    )
+    assert "REP008" in codes(findings)
+
+
+def test_rep008_ignores_tests_and_tools():
+    for relpath in ("tests/test_decode.py", "tools/replint/rules.py"):
+        findings = run(
+            """
+            def test_decode():
+                assert 1 + 1 == 2
+            """,
+            relpath=relpath,
+        )
+        assert codes(findings) == []
+
+
+# ---------------------------------------------------------------------------
+# REP009 — stray-print
+# ---------------------------------------------------------------------------
+
+def test_rep009_flags_print_in_library_code():
+    findings = run(
+        """
+        def on_packet(pkt):
+            print("got", pkt)
+        """
+    )
+    assert "REP009" in codes(findings)
+    assert RULES_BY_CODE["REP009"].severity is Severity.WARNING
+
+
+def test_rep009_allows_cli_shims():
+    for relpath in (
+        "src/repro/simulate.py",
+        "src/repro/experiments/__main__.py",
+        "src/repro/experiments/figures.py",
+    ):
+        findings = run(
+            """
+            def report(result):
+                print(result)
+            """,
+            relpath=relpath,
+        )
+        assert codes(findings) == []
+
+
+# ---------------------------------------------------------------------------
+# REP010 — env-dependence
+# ---------------------------------------------------------------------------
+
+def test_rep010_flags_environment_reads():
+    findings = run(
+        """
+        import os
+        import sys
+
+        def load():
+            root = os.environ["SIM_ROOT"]
+            fallback = os.getenv("SIM_SEED", "0")
+            prog = sys.argv[0]
+            return root, fallback, prog
+        """
+    )
+    assert codes(findings).count("REP010") == 3
+
+
+def test_rep010_allows_config_and_cli_shims():
+    for relpath in ("src/repro/core/config.py", "src/repro/simulate.py"):
+        findings = run(
+            """
+            import os
+
+            def load():
+                return os.getenv("SIM_SEED", "0")
+            """,
+            relpath=relpath,
+        )
+        assert codes(findings) == []
+
+
+# ---------------------------------------------------------------------------
+# Parse errors
+# ---------------------------------------------------------------------------
+
+def test_unparseable_file_is_a_finding():
+    findings = analyze_source("def broken(:\n", SRC)
+    assert codes(findings) == ["REP000"]
+
+
+# ---------------------------------------------------------------------------
+# Suppressions
+# ---------------------------------------------------------------------------
+
+def test_same_line_suppression():
+    findings = run(
+        """
+        import time
+
+        def stamp():
+            return time.time()  # replint: disable=REP002
+        """
+    )
+    assert codes(findings) == []
+    assert codes(findings, include_suppressed=True) == ["REP002"]
+
+
+def test_suppression_is_rule_specific():
+    findings = run(
+        """
+        import time
+
+        def stamp():
+            return time.time()  # replint: disable=REP001
+        """
+    )
+    assert codes(findings) == ["REP002"]
+
+
+def test_bare_disable_suppresses_all_rules_on_line():
+    findings = run(
+        """
+        import time, random
+
+        def stamp():
+            return time.time(), random.random()  # replint: disable
+        """
+    )
+    assert codes(findings) == []
+
+
+def test_directive_inside_string_is_not_a_suppression():
+    findings = run(
+        """
+        import time
+
+        def stamp():
+            note = "# replint: disable=REP002"
+            return time.time(), note
+        """
+    )
+    assert codes(findings) == ["REP002"]
+
+
+# ---------------------------------------------------------------------------
+# Baseline
+# ---------------------------------------------------------------------------
+
+def test_baseline_grandfathers_then_blocks_new(tmp_path):
+    source = textwrap.dedent(
+        """
+        import time
+
+        def stamp():
+            return time.time()
+        """
+    )
+    findings = analyze_source(source, SRC)
+    baseline = Baseline.from_findings(findings)
+    assert all(baseline.consume(f) for f in analyze_source(source, SRC))
+
+    grown = source + "\n\ndef stamp2():\n    return time.time()\n"
+    fresh = Baseline.from_findings(findings)
+    leftover = [f for f in analyze_source(grown, SRC) if not fresh.consume(f)]
+    assert len(leftover) == 1  # only the *new* violation escapes the baseline
+
+
+def test_baseline_roundtrip(tmp_path):
+    source = "import time\n\n\ndef f():\n    return time.time()\n"
+    findings = analyze_source(source, SRC)
+    path = tmp_path / "baseline.json"
+    Baseline.from_findings(findings).dump(path)
+    loaded = Baseline.load(path)
+    assert len(loaded) == len(findings) == 1
+    assert loaded.consume(findings[0])
+    assert not loaded.consume(findings[0])  # counts are a multiset
+    assert Baseline.load(tmp_path / "missing.json").consume(findings[0]) is False
+
+
+def test_baseline_survives_line_shifts():
+    source = "import time\n\n\ndef f():\n    return time.time()\n"
+    baseline = Baseline.from_findings(analyze_source(source, SRC))
+    shifted = "import time\n\nPAD = 1\n\n\ndef f():\n    return time.time()\n"
+    assert all(baseline.consume(f) for f in analyze_source(shifted, SRC))
+
+
+# ---------------------------------------------------------------------------
+# Fixes
+# ---------------------------------------------------------------------------
+
+def test_fix_rewrites_asserts_preserving_behaviour():
+    source = textwrap.dedent(
+        """
+        def pick(value):
+            assert value is not None
+            assert value >= 0, f"negative: {value}"
+            return value
+        """
+    )
+    fixed, n = fix_source(source, {"REP008"})
+    assert n == 2
+    assert "assert" not in fixed
+    assert "if value is None:" in fixed  # mypy-narrowable special case
+    namespace: dict = {}
+    exec(compile(fixed, "<fixed>", "exec"), namespace)
+    assert namespace["pick"](3) == 3
+    with pytest.raises(AssertionError):
+        namespace["pick"](None)
+    with pytest.raises(AssertionError, match="negative: -1"):
+        namespace["pick"](-1)
+
+
+def test_fix_rewrites_mutable_defaults_without_state_leak():
+    source = textwrap.dedent(
+        """
+        def enqueue(item, queue=[]):
+            '''Append and return.'''
+            queue.append(item)
+            return queue
+        """
+    )
+    fixed, n = fix_source(source, {"REP006"})
+    assert n == 1
+    assert "queue=None" in fixed.replace(" ", "").replace("queue =", "queue=") or "None" in fixed
+    namespace: dict = {}
+    exec(compile(fixed, "<fixed>", "exec"), namespace)
+    assert namespace["enqueue"](1) == [1]
+    assert namespace["enqueue"](2) == [2]  # no shared default any more
+    assert namespace["enqueue"].__doc__ == "Append and return."
+
+
+def test_fix_leaves_suppressed_lines_alone():
+    source = (
+        "def f(x):\n"
+        "    assert x  # replint: disable=REP008\n"
+        "    return x\n"
+    )
+    fixed, n = fix_source(source, {"REP008"})
+    assert n == 0
+    assert fixed == source
+
+
+def test_fixed_output_is_flagged_clean():
+    source = "def f(x):\n    assert x\n    return x\n"
+    fixed, _ = fix_source(source, {"REP008"})
+    assert codes(analyze_source(fixed, SRC)) == []
+    ast.parse(fixed)
+
+
+# ---------------------------------------------------------------------------
+# CLI end-to-end
+# ---------------------------------------------------------------------------
+
+def _make_tree(tmp_path: Path, body: str) -> Path:
+    target = tmp_path / "src" / "repro" / "mod.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(textwrap.dedent(body), encoding="utf-8")
+    return target
+
+
+def test_cli_exit_codes(tmp_path, capsys):
+    _make_tree(tmp_path, """
+        import time
+
+        def stamp():
+            return time.time()
+        """)
+    # Paths are resolved relative to the process cwd, so pass them absolute.
+    assert main([str(tmp_path / "src"), "--root", str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "REP002" in out
+
+    clean = tmp_path / "clean"
+    (clean / "src").mkdir(parents=True)
+    (clean / "src" / "ok.py").write_text("def f(rng):\n    return rng.random()\n")
+    assert main([str(clean / "src"), "--root", str(clean)]) == 0
+
+
+def test_cli_select_limits_rules(tmp_path, capsys):
+    _make_tree(tmp_path, """
+        import time
+
+        def stamp():
+            assert time
+            return time.time()
+        """)
+    assert main([str(tmp_path / "src"), "--root", str(tmp_path),
+                 "--select", "REP008"]) == 1
+    out = capsys.readouterr().out
+    assert "REP008" in out and "REP002" not in out
+
+
+def test_cli_write_baseline_then_clean(tmp_path, capsys):
+    _make_tree(tmp_path, """
+        import time
+
+        def stamp():
+            return time.time()
+        """)
+    src = str(tmp_path / "src")
+    assert main([src, "--root", str(tmp_path), "--write-baseline"]) == 0
+    baseline_path = tmp_path / ".replint-baseline.json"
+    assert baseline_path.exists()
+    assert main([src, "--root", str(tmp_path)]) == 0
+    capsys.readouterr()
+    assert main([src, "--root", str(tmp_path), "--no-baseline"]) == 1
+
+
+def test_cli_fix_applies_in_place(tmp_path, capsys):
+    target = _make_tree(tmp_path, """
+        def f(x):
+            assert x
+            return x
+        """)
+    assert main([str(tmp_path / "src"), "--root", str(tmp_path), "--fix"]) == 0
+    assert "assert" not in target.read_text()
+    assert "fix(es) applied" in capsys.readouterr().out
+
+
+def test_cli_fix_never_touches_test_asserts(tmp_path):
+    target = tmp_path / "tests" / "test_mod.py"
+    target.parent.mkdir(parents=True)
+    body = "def test_f():\n    assert 1 + 1 == 2\n"
+    target.write_text(body)
+    assert main([str(target.parent), "--root", str(tmp_path), "--fix"]) == 0
+    assert target.read_text() == body
+
+
+def test_cli_json_format(tmp_path, capsys):
+    _make_tree(tmp_path, """
+        import time
+
+        def stamp():
+            return time.time()
+        """)
+    main([str(tmp_path / "src"), "--root", str(tmp_path), "--format", "json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["files_checked"] == 1
+    assert payload["findings"][0]["rule"] == "REP002"
+
+
+def test_cli_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in RULES:
+        assert rule.code in out
+
+
+def test_cli_strict_promotes_warnings(tmp_path, capsys):
+    _make_tree(tmp_path, """
+        def on_packet(pkt):
+            print("got", pkt)
+        """)
+    src = str(tmp_path / "src")
+    assert main([src, "--root", str(tmp_path)]) == 0  # REP009 is a warning
+    capsys.readouterr()
+    assert main([src, "--root", str(tmp_path), "--strict"]) == 1
+
+
+def test_repo_tree_is_clean():
+    """The acceptance gate: replint exits 0 on the real src/ and tests/."""
+    root = Path(__file__).resolve().parents[2]
+    assert main([str(root / "src"), str(root / "tests"),
+                 "--root", str(root)]) == 0

@@ -1,0 +1,37 @@
+"""replint — simulation-safety static analysis for the LR-Seluge repo.
+
+An AST-based linter enforcing the invariants the reproduction's claims rest
+on: seeded determinism (no global RNG, no wall clock, no hash-order
+iteration at decision points), crypto hygiene (no weak hashes, no
+non-cryptographic randomness for key material), and event-loop purity
+(handlers keep their state on the instance).  See DESIGN.md section 8 for
+the rule catalogue and rationale.
+
+Usage::
+
+    PYTHONPATH=tools python -m replint src tests
+    PYTHONPATH=tools python -m replint --list-rules
+    PYTHONPATH=tools python -m replint --fix src
+    PYTHONPATH=tools python -m replint --write-baseline src tests
+"""
+
+from replint.baseline import Baseline
+from replint.cli import main
+from replint.finding import Finding, RULES, RULES_BY_CODE, Rule, Severity
+from replint.runner import AnalysisResult, analyze_paths, analyze_source
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisResult",
+    "Baseline",
+    "Finding",
+    "RULES",
+    "RULES_BY_CODE",
+    "Rule",
+    "Severity",
+    "analyze_paths",
+    "analyze_source",
+    "main",
+    "__version__",
+]

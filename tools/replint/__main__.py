@@ -1,0 +1,8 @@
+"""``python -m replint`` entry point."""
+
+import sys
+
+from replint.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

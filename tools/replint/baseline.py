@@ -1,0 +1,87 @@
+"""Baseline file support: grandfather existing findings, block new ones.
+
+The baseline is a checked-in JSON file.  Each entry keys on
+``(path, rule, hash(stripped source line))`` with a count, so findings keep
+matching when unrelated edits shift line numbers, but stop matching (and start
+failing CI) when the offending line itself changes or multiplies.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+from replint.finding import Finding
+
+__all__ = ["Baseline", "baseline_key"]
+
+_VERSION = 1
+
+
+def _line_hash(source_line: str) -> str:
+    return hashlib.sha256(source_line.strip().encode("utf-8")).hexdigest()[:16]
+
+
+def baseline_key(finding: Finding) -> Tuple[str, str, str]:
+    return (finding.path, finding.rule, _line_hash(finding.source_line))
+
+
+class Baseline:
+    """A multiset of grandfathered findings."""
+
+    def __init__(self, counts: "Dict[Tuple[str, str, str], int] | None" = None):
+        self._counts: Dict[Tuple[str, str, str], int] = dict(counts or {})
+
+    # -- matching ---------------------------------------------------------------
+
+    def consume(self, finding: Finding) -> bool:
+        """True (and decrement) if the finding is covered by the baseline.
+
+        Call once per finding: duplicate findings beyond the baselined count
+        are reported as new.
+        """
+        key = baseline_key(finding)
+        remaining = self._counts.get(key, 0)
+        if remaining <= 0:
+            return False
+        self._counts[key] = remaining - 1
+        return True
+
+    # -- (de)serialisation ------------------------------------------------------
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        counts: Dict[Tuple[str, str, str], int] = {}
+        for finding in findings:
+            key = baseline_key(finding)
+            counts[key] = counts.get(key, 0) + 1
+        return cls(counts)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if data.get("version") != _VERSION:
+            raise ValueError(
+                f"unsupported baseline version {data.get('version')!r} in {path}"
+            )
+        counts: Dict[Tuple[str, str, str], int] = {}
+        for entry in data.get("findings", []):
+            key = (entry["path"], entry["rule"], entry["line_hash"])
+            counts[key] = counts.get(key, 0) + int(entry.get("count", 1))
+        return cls(counts)
+
+    def dump(self, path: Path) -> None:
+        entries: List[Dict[str, object]] = [
+            {"path": p, "rule": rule, "line_hash": line_hash, "count": count}
+            for (p, rule, line_hash), count in sorted(self._counts.items())
+            if count > 0
+        ]
+        payload = {"version": _VERSION, "findings": entries}
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    def __len__(self) -> int:
+        return sum(count for count in self._counts.values() if count > 0)

@@ -1,0 +1,174 @@
+"""Command-line interface: ``python -m replint [paths...]``.
+
+Exit codes: 0 clean (or warnings only), 1 unsuppressed error findings
+(warnings too under ``--strict``), 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Set
+
+from replint.baseline import Baseline
+from replint.finding import RULES, RULES_BY_CODE, Severity
+from replint.runner import AnalysisResult, analyze_paths
+
+__all__ = ["main"]
+
+DEFAULT_BASELINE = ".replint-baseline.json"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m replint",
+        description=(
+            "Simulation-safety static analysis: determinism, crypto hygiene, "
+            "and event-loop purity invariants for this repository."
+        ),
+    )
+    parser.add_argument("paths", nargs="*", default=["src", "tests"],
+                        help="files or directories to check (default: src tests)")
+    parser.add_argument("--root", default=".", metavar="DIR",
+                        help="repository root used for relative paths and scopes")
+    parser.add_argument("--select", metavar="CODES",
+                        help="comma-separated rule codes to run (default: all)")
+    parser.add_argument("--baseline", metavar="FILE", default=None,
+                        help=f"baseline file (default: <root>/{DEFAULT_BASELINE} "
+                             "when present)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any baseline file")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="write current findings to the baseline file and exit 0")
+    parser.add_argument("--fix", action="store_true",
+                        help="apply mechanical fixes (REP006, REP008) in place")
+    parser.add_argument("--strict", action="store_true",
+                        help="treat warnings as errors for the exit code")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="output format")
+    parser.add_argument("--statistics", action="store_true",
+                        help="print per-rule finding counts")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="describe every rule and exit")
+    return parser
+
+
+def _parse_select(raw: "Optional[str]") -> "Optional[Set[str]]":
+    if raw is None:
+        return None
+    codes = {code.strip().upper() for code in raw.split(",") if code.strip()}
+    unknown = codes - set(RULES_BY_CODE)
+    if unknown:
+        raise SystemExit(
+            f"error: unknown rule code(s): {', '.join(sorted(unknown))} "
+            f"(known: {', '.join(r.code for r in RULES)})"
+        )
+    return codes
+
+
+def _list_rules() -> None:
+    for rule in RULES:
+        fixable = " (fixable)" if rule.fixable else ""
+        print(f"{rule.code} {rule.name} [{rule.severity}]{fixable}")
+        print(f"    {rule.summary}")
+
+
+def _print_text(result: AnalysisResult, statistics: bool) -> None:
+    for finding in result.active:
+        print(finding.format())
+    suppressed = sum(1 for f in result.findings if f.suppressed)
+    baselined = sum(1 for f in result.findings if f.baselined)
+    tail = (
+        f"{len(result.active)} finding(s) in {result.files_checked} file(s)"
+    )
+    extras: List[str] = []
+    if suppressed:
+        extras.append(f"{suppressed} suppressed")
+    if baselined:
+        extras.append(f"{baselined} baselined")
+    if result.fixes_applied:
+        extras.append(
+            f"{result.fixes_applied} fix(es) applied in "
+            f"{result.files_fixed} file(s)"
+        )
+    if extras:
+        tail += " (" + ", ".join(extras) + ")"
+    print(tail)
+    if statistics and result.active:
+        for rule, count in result.counts_by_rule().items():
+            print(f"  {rule}: {count}")
+
+
+def _print_json(result: AnalysisResult) -> None:
+    payload = {
+        "files_checked": result.files_checked,
+        "fixes_applied": result.fixes_applied,
+        "findings": [
+            {
+                "rule": f.rule,
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "severity": str(f.severity),
+                "message": f.message,
+            }
+            for f in result.active
+        ],
+    }
+    print(json.dumps(payload, indent=2))
+
+
+def main(argv: "Optional[List[str]]" = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        _list_rules()
+        return 0
+
+    root = Path(args.root)
+    if not root.is_dir():
+        parser.error(f"--root {args.root} is not a directory")
+    select = _parse_select(args.select)
+
+    baseline_path = Path(args.baseline) if args.baseline else root / DEFAULT_BASELINE
+    baseline: Optional[Baseline] = None
+    if args.write_baseline or args.no_baseline:
+        baseline = None
+    elif baseline_path.exists():
+        try:
+            baseline = Baseline.load(baseline_path)
+        except (ValueError, KeyError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read baseline {baseline_path}: {exc}",
+                  file=sys.stderr)
+            return 2
+
+    paths = [Path(p) for p in args.paths]
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        parser.error(f"path(s) do not exist: {', '.join(missing)}")
+
+    result = analyze_paths(
+        paths, root=root, baseline=baseline, select=select, fix=args.fix,
+    )
+
+    if args.write_baseline:
+        Baseline.from_findings(
+            f for f in result.findings if not f.suppressed
+        ).dump(baseline_path)
+        print(
+            f"wrote {baseline_path} with "
+            f"{sum(1 for f in result.findings if not f.suppressed)} finding(s)"
+        )
+        return 0
+
+    if args.format == "json":
+        _print_json(result)
+    else:
+        _print_text(result, statistics=args.statistics)
+
+    threshold = Severity.WARNING if args.strict else Severity.ERROR
+    failing = [f for f in result.active if f.severity >= threshold]
+    return 1 if failing else 0

@@ -1,0 +1,224 @@
+"""Mechanical fixers for the rules where a rewrite is purely syntactic.
+
+Two rules qualify:
+
+* **REP008** ``assert test[, msg]`` becomes ``if <negated test>: raise
+  AssertionError(msg)`` — semantically identical under ``python`` and, unlike
+  the original, still present under ``python -O``.
+* **REP006** a mutable default becomes ``None`` plus a materialising guard at
+  the top of the function body.
+
+Fixes are applied as text edits positioned by the AST, bottom-up so earlier
+edits never invalidate later offsets.  Anything the fixer is not certain
+about (one-line function bodies, asserts it cannot source-locate) is left
+alone and stays reported.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from replint.suppress import SuppressionMap, collect_suppressions
+
+__all__ = ["fix_source"]
+
+
+@dataclass
+class _Edit:
+    """Replace the half-open span [start, end) (absolute offsets) with text."""
+
+    start: int
+    end: int
+    text: str
+
+
+class _Offsets:
+    """Translate (lineno, col_offset) AST positions to absolute offsets."""
+
+    def __init__(self, source: str):
+        self._starts: List[int] = [0]
+        for line in source.splitlines(keepends=True):
+            self._starts.append(self._starts[-1] + len(line))
+
+    def offset(self, lineno: int, col: int) -> int:
+        return self._starts[lineno - 1] + col
+
+
+def _negate(source: str, test: ast.expr, test_src: str) -> str:
+    """Source of the *negated* condition, special-casing None comparisons.
+
+    ``assert x is not None`` must become ``if x is None:`` (not
+    ``if not (x is not None):``) so mypy's narrowing keeps working on the
+    fixed code.
+    """
+    if (
+        isinstance(test, ast.Compare)
+        and len(test.ops) == 1
+        and isinstance(test.comparators[0], ast.Constant)
+        and test.comparators[0].value is None
+    ):
+        left = ast.get_source_segment(source, test.left)
+        if left is not None:
+            if isinstance(test.ops[0], ast.IsNot):
+                return f"{left.strip()} is None"
+            if isinstance(test.ops[0], ast.Is):
+                return f"{left.strip()} is not None"
+    if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+        # ``assert not x`` -> ``if x:`` when the operand is a simple name.
+        if isinstance(test.operand, ast.Name):
+            return test.operand.id
+    return f"not ({test_src})"
+
+
+def _fix_asserts(
+    source: str, tree: ast.AST, suppressions: SuppressionMap
+) -> Tuple[str, int]:
+    offsets = _Offsets(source)
+    edits: List[_Edit] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Assert):
+            continue
+        if node.end_lineno is None or node.end_col_offset is None:
+            continue
+        if suppressions.is_suppressed(node.lineno, "REP008"):
+            continue
+        test_src = ast.get_source_segment(source, node.test)
+        if test_src is None:
+            continue
+        if node.msg is not None:
+            msg_src = ast.get_source_segment(source, node.msg)
+            if msg_src is None:
+                continue
+        else:
+            # Keep the violated invariant readable in the raised error.
+            msg_src = repr(f"invariant violated: {' '.join(test_src.split())}")
+        indent = " " * node.col_offset
+        condition = _negate(source, node.test, test_src)
+        replacement = (
+            f"if {condition}:\n"
+            f"{indent}    raise AssertionError({msg_src})"
+        )
+        edits.append(_Edit(
+            start=offsets.offset(node.lineno, node.col_offset),
+            end=offsets.offset(node.end_lineno, node.end_col_offset),
+            text=replacement,
+        ))
+    return _apply(source, edits), len(edits)
+
+
+def _mutable_default_pairs(node: "ast.FunctionDef | ast.AsyncFunctionDef"):
+    from replint.rules import _is_mutable_default  # shared predicate
+
+    arguments = node.args
+    positional = arguments.posonlyargs + arguments.args
+    offset = len(positional) - len(arguments.defaults)
+    for i, default in enumerate(arguments.defaults):
+        if _is_mutable_default(default):
+            yield positional[offset + i], default
+    for arg, default in zip(arguments.kwonlyargs, arguments.kw_defaults):
+        if default is not None and _is_mutable_default(default):
+            yield arg, default
+
+
+def _fix_mutable_defaults(
+    source: str, tree: ast.AST, suppressions: SuppressionMap
+) -> Tuple[str, int]:
+    offsets = _Offsets(source)
+    edits: List[_Edit] = []
+    fixed = 0
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        pairs = [
+            (arg, default)
+            for arg, default in _mutable_default_pairs(node)
+            if not suppressions.is_suppressed(default.lineno, "REP006")
+        ]
+        if not pairs:
+            continue
+        anchor = _guard_anchor(node)
+        if anchor is None:
+            continue  # one-line body etc. — leave reported, unfixed
+        anchor_stmt, insert_lineno = anchor
+        indent = " " * anchor_stmt.col_offset
+        guards = []
+        for arg, default in pairs:
+            default_src = ast.get_source_segment(source, default)
+            if default_src is None or default.end_lineno is None:
+                continue
+            edits.append(_Edit(
+                start=offsets.offset(default.lineno, default.col_offset),
+                end=offsets.offset(default.end_lineno, default.end_col_offset or 0),
+                text="None",
+            ))
+            guards.append(
+                f"{indent}if {arg.arg} is None:\n"
+                f"{indent}    {arg.arg} = {default_src}\n"
+            )
+            fixed += 1
+        if guards:
+            insert_at = offsets.offset(insert_lineno, 0)
+            edits.append(_Edit(start=insert_at, end=insert_at, text="".join(guards)))
+    return _apply(source, edits), fixed
+
+
+def _guard_anchor(
+    node: "ast.FunctionDef | ast.AsyncFunctionDef",
+) -> "Optional[Tuple[ast.stmt, int]]":
+    """(statement to indent like, line number to insert before) — or None.
+
+    The guard goes after the docstring, before the first real statement.  A
+    body that starts on the ``def`` line (one-liners) is not fixable
+    textually.
+    """
+    body = node.body
+    first = body[0]
+    is_docstring = (
+        isinstance(first, ast.Expr)
+        and isinstance(first.value, ast.Constant)
+        and isinstance(first.value.value, str)
+    )
+    if is_docstring:
+        if len(body) == 1:
+            if first.end_lineno is None:
+                return None
+            return first, first.end_lineno + 1  # line after the docstring
+        anchor = body[1]
+    else:
+        anchor = first
+    if anchor.lineno == node.lineno:
+        return None  # body on the def line
+    return anchor, anchor.lineno
+
+
+def _apply(source: str, edits: List[_Edit]) -> str:
+    if not edits:
+        return source
+    result = source
+    for edit in sorted(edits, key=lambda e: (e.start, e.end), reverse=True):
+        result = result[: edit.start] + edit.text + result[edit.end :]
+    return result
+
+
+def fix_source(source: str, rules: "set[str]") -> Tuple[str, int]:
+    """Apply the requested mechanical fixes; returns (new_source, n_fixed).
+
+    Fixes are applied one rule at a time with a re-parse in between, so the
+    edits never see stale offsets.
+    """
+    total = 0
+    if "REP008" in rules:
+        tree = ast.parse(source)
+        source, n = _fix_asserts(source, tree, collect_suppressions(source))
+        total += n
+    if "REP006" in rules:
+        # Re-parse (and re-scan comments) so REP008's edits cannot leave the
+        # offsets or suppression line numbers stale.
+        tree = ast.parse(source)
+        source, n = _fix_mutable_defaults(source, tree, collect_suppressions(source))
+        total += n
+    if total:
+        ast.parse(source)  # the rewrite must still be valid Python
+    return source, total

@@ -1,0 +1,661 @@
+"""The replint rule implementations.
+
+Each rule is a function ``(tree, ctx) -> list[Finding]`` over one module's
+AST.  Rules are intentionally syntactic: replint runs without importing the
+analysed code, so detection is based on names and shapes, with sanctioned
+call sites expressed as path allow-lists in :class:`FileContext`.  The
+trade-off is documented per rule — where a heuristic can miss (aliased
+modules, values smuggled through attributes), the matching determinism tests
+from PR 1 remain the backstop; replint catches the overwhelmingly common
+spellings at review time.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from replint.finding import Finding, RULES_BY_CODE, make_finding
+
+__all__ = ["FileContext", "run_rules", "RULE_CHECKS"]
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to know about the file under analysis."""
+
+    path: str  # repo-relative posix path, e.g. "src/repro/sim/engine.py"
+    lines: Sequence[str]  # raw source lines (1-indexed via line-1)
+
+    def source_line(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    # -- path scopes ------------------------------------------------------------
+
+    @property
+    def in_tests(self) -> bool:
+        return self.path.startswith("tests/") or "/tests/" in self.path
+
+    @property
+    def in_src(self) -> bool:
+        return self.path.startswith("src/") or "/src/" in self.path
+
+    @property
+    def in_crypto(self) -> bool:
+        return "/crypto/" in self.path
+
+    @property
+    def is_cli_shim(self) -> bool:
+        """CLI entry points where console output and argv access are the job."""
+        return (
+            self.path.endswith("__main__.py")
+            or self.path.endswith("simulate.py")
+            or "/experiments/" in self.path
+        )
+
+    @property
+    def rng_sanctioned(self) -> bool:
+        """The one module allowed to construct streams from the random module."""
+        return self.path.endswith("sim/rng.py")
+
+    @property
+    def clock_sanctioned(self) -> bool:
+        """The one module allowed to read the wall clock (stopwatch shim)."""
+        return self.path.endswith("experiments/reporting.py")
+
+
+def _finding(code: str, ctx: FileContext, node: ast.AST, message: str) -> Finding:
+    lineno = getattr(node, "lineno", 1)
+    col = getattr(node, "col_offset", 0)
+    return make_finding(
+        RULES_BY_CODE[code], ctx.path, lineno, col, message,
+        source_line=ctx.source_line(lineno),
+    )
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """Flatten ``a.b.c`` attribute chains to a dotted string, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+# ---------------------------------------------------------------------------
+# REP001 — global-random
+# ---------------------------------------------------------------------------
+
+# Module-level sampling entry points of the stdlib random module.  Calling any
+# of these consumes (or reseeds) the hidden global Mersenne Twister.
+_RANDOM_SAMPLERS = {
+    "random", "uniform", "randint", "randrange", "choice", "choices",
+    "sample", "shuffle", "seed", "getrandbits", "gauss", "normalvariate",
+    "lognormvariate", "expovariate", "betavariate", "gammavariate",
+    "triangular", "vonmisesvariate", "paretovariate", "weibullvariate",
+    "randbytes", "binomialvariate",
+}
+
+_NUMPY_ALIASES = {"numpy", "np"}
+
+
+def check_rep001(tree: ast.AST, ctx: FileContext) -> List[Finding]:
+    """Global random / numpy.random use outside the sanctioned stream factory."""
+    if ctx.rng_sanctioned:
+        return []
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = _dotted(node.func)
+        if dotted is None:
+            continue
+        head, _, tail = dotted.partition(".")
+        if head == "random" and tail in _RANDOM_SAMPLERS:
+            findings.append(_finding(
+                "REP001", ctx, node,
+                f"call to global random.{tail}() — draw from an injected "
+                "random.Random (see sim/rng.py derived_stream/RngRegistry)",
+            ))
+        elif dotted == "random.Random" and not ctx.in_tests:
+            # Tests may construct seeded streams at the fixture boundary —
+            # that *is* the injection point.  Library code must go through
+            # sim/rng.py so stream derivation stays in one audited place.
+            findings.append(_finding(
+                "REP001", ctx, node,
+                "random.Random constructed outside sim/rng.py — accept an "
+                "injected stream or use sim.rng.derived_stream(...)",
+            ))
+        elif head in _NUMPY_ALIASES and tail.startswith("random."):
+            # Tests may construct *seeded* generators at the fixture
+            # boundary, mirroring the random.Random allowance above.
+            seeded_test_ctor = (
+                ctx.in_tests
+                and tail == "random.default_rng"
+                and bool(node.args or node.keywords)
+            )
+            if not seeded_test_ctor:
+                findings.append(_finding(
+                    "REP001", ctx, node,
+                    f"call to {dotted}() — use RngRegistry.get_numpy(...) "
+                    "from sim/rng.py for seeded numpy streams",
+                ))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# REP002 — wall-clock
+# ---------------------------------------------------------------------------
+
+_CLOCK_CALLS = {
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+    "time.localtime", "time.gmtime",
+    "datetime.now", "datetime.utcnow", "datetime.today",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today", "date.today",
+}
+
+
+def check_rep002(tree: ast.AST, ctx: FileContext) -> List[Finding]:
+    """Wall-clock reads outside the reporting stopwatch."""
+    if ctx.clock_sanctioned:
+        return []
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = _dotted(node.func)
+        if dotted in _CLOCK_CALLS:
+            findings.append(_finding(
+                "REP002", ctx, node,
+                f"wall-clock read {dotted}() — simulation logic must be a "
+                "pure function of (config, seed); for CLI timing use "
+                "repro.experiments.reporting.stopwatch()",
+            ))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# REP003 — unordered-iteration
+# ---------------------------------------------------------------------------
+
+_SET_RETURNING_METHODS = {
+    "union", "intersection", "difference", "symmetric_difference",
+}
+
+
+class _SetTracker(ast.NodeVisitor):
+    """Track local names bound to syntactic set expressions, per function."""
+
+    def __init__(self, ctx: FileContext):
+        self.ctx = ctx
+        self.findings: List[Finding] = []
+        self._set_names: List[Set[str]] = [set()]  # stack of scopes
+
+    # -- scope handling --
+
+    def _enter_scope(self) -> None:
+        self._set_names.append(set())
+
+    def _exit_scope(self) -> None:
+        self._set_names.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._enter_scope()
+        self.generic_visit(node)
+        self._exit_scope()
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def _name_is_set(self, name: str) -> bool:
+        return any(name in scope for scope in self._set_names)
+
+    def _is_set_expr(self, node: ast.AST) -> bool:
+        """Syntactic evidence that ``node`` evaluates to a set."""
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            dotted = _dotted(node.func)
+            if dotted in ("set", "frozenset"):
+                return True
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _SET_RETURNING_METHODS
+                and self._is_set_expr(node.func.value)
+            ):
+                return True
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return self._is_set_expr(node.left) or self._is_set_expr(node.right)
+        if isinstance(node, ast.Name):
+            return self._name_is_set(node.id)
+        return False
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        is_set = self._is_set_expr(node.value)
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                if is_set:
+                    self._set_names[-1].add(target.id)
+                else:
+                    self._set_names[-1].discard(target.id)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        # ``s |= other`` keeps (or makes) s a set-ish name.
+        if (
+            isinstance(node.target, ast.Name)
+            and isinstance(node.op, (ast.BitOr, ast.BitAnd, ast.BitXor))
+            and self._is_set_expr(node.value)
+        ):
+            self._set_names[-1].add(node.target.id)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        ann = _dotted(node.annotation) if not isinstance(
+            node.annotation, ast.Subscript
+        ) else _dotted(node.annotation.value)
+        if isinstance(node.target, ast.Name) and ann in ("set", "Set", "typing.Set", "frozenset", "FrozenSet"):
+            self._set_names[-1].add(node.target.id)
+        self.generic_visit(node)
+
+    # -- consumption sites --
+
+    def _flag(self, node: ast.AST, what: str) -> None:
+        self.findings.append(_finding(
+            "REP003", self.ctx, node,
+            f"{what} iterates a set in hash order — wrap the iterable in "
+            "sorted(...) so event/packet order is independent of "
+            "PYTHONHASHSEED",
+        ))
+
+    def visit_For(self, node: ast.For) -> None:
+        if self._is_set_expr(node.iter):
+            self._flag(node.iter, "for loop")
+        self.generic_visit(node)
+
+    def visit_comprehension_iter(self, comp: ast.comprehension) -> None:
+        if self._is_set_expr(comp.iter):
+            self._flag(comp.iter, "comprehension")
+
+    def _visit_comp(self, node: ast.AST) -> None:
+        for comp in getattr(node, "generators", []):
+            self.visit_comprehension_iter(comp)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comp
+    visit_DictComp = _visit_comp
+    visit_GeneratorExp = _visit_comp
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        # Building one set from another is order-free; only flag if the
+        # element expression itself is order-sensitive (out of scope here).
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted(node.func)
+        if dotted in ("list", "tuple", "enumerate", "iter", "next") and node.args:
+            if self._is_set_expr(node.args[0]):
+                self._flag(node.args[0], f"{dotted}() over a set")
+        # sorted()/len()/sum()/min()/max()/any()/all() over sets are fine:
+        # either order-insensitive or explicitly ordering.
+        self.generic_visit(node)
+
+
+def check_rep003(tree: ast.AST, ctx: FileContext) -> List[Finding]:
+    """Unordered set iteration at event/packet decision points.
+
+    Syntactic heuristic: only expressions that are *visibly* sets in the
+    local scope are flagged (set literals/calls/comprehensions, set algebra,
+    names assigned from those).  Sets that arrive through attributes or
+    parameters are out of reach — the determinism trace tests cover those.
+    """
+    if ctx.in_tests:
+        return []
+    tracker = _SetTracker(ctx)
+    tracker.visit(tree)
+    return tracker.findings
+
+
+# ---------------------------------------------------------------------------
+# REP004 — crypto-hygiene
+# ---------------------------------------------------------------------------
+
+_WEAK_HASHES = {"md5", "sha1"}
+
+
+def check_rep004(tree: ast.AST, ctx: FileContext) -> List[Finding]:
+    """Weak hash primitives anywhere; random-module material in crypto/."""
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = _dotted(node.func)
+        if dotted is None:
+            continue
+        head, _, tail = dotted.partition(".")
+        if head == "hashlib" and tail in _WEAK_HASHES:
+            findings.append(_finding(
+                "REP004", ctx, node,
+                f"hashlib.{tail} is collision-broken — the protocol's Merkle/"
+                "hash-chain security argument needs sha256 or stronger",
+            ))
+        elif dotted == "hashlib.new" and node.args:
+            arg = node.args[0]
+            if isinstance(arg, ast.Constant) and str(arg.value).lower() in _WEAK_HASHES:
+                findings.append(_finding(
+                    "REP004", ctx, node,
+                    f"hashlib.new({arg.value!r}) selects a collision-broken "
+                    "hash — use sha256 or stronger",
+                ))
+        elif ctx.in_crypto and head == "random":
+            findings.append(_finding(
+                "REP004", ctx, node,
+                "random module used in crypto/ — the Mersenne Twister is "
+                "predictable from output; derive keys/nonces from the "
+                "keychain or hashlib, or use the secrets module",
+            ))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# REP005 — swallowed-exceptions
+# ---------------------------------------------------------------------------
+
+def _body_is_noop(body: Sequence[ast.stmt]) -> bool:
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring / ellipsis
+        if isinstance(stmt, ast.Continue):
+            continue
+        return False
+    return True
+
+
+def check_rep005(tree: ast.AST, ctx: FileContext) -> List[Finding]:
+    """Bare excepts, and broad excepts whose body does nothing."""
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if node.type is None:
+            findings.append(_finding(
+                "REP005", ctx, node,
+                "bare except: catches SystemExit/KeyboardInterrupt too — "
+                "name the exception types this handler can actually recover",
+            ))
+            continue
+        broad = _dotted(node.type) in ("Exception", "BaseException")
+        if broad and _body_is_noop(node.body):
+            findings.append(_finding(
+                "REP005", ctx, node,
+                "except Exception with an empty body silently swallows "
+                "protocol errors — narrow the type or record the failure",
+            ))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# REP006 — mutable-default
+# ---------------------------------------------------------------------------
+
+def _is_mutable_default(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        dotted = _dotted(node.func)
+        return dotted in ("list", "dict", "set", "bytearray",
+                          "collections.defaultdict", "defaultdict",
+                          "collections.deque", "deque",
+                          "collections.OrderedDict", "OrderedDict",
+                          "collections.Counter", "Counter")
+    return False
+
+
+def check_rep006(tree: ast.AST, ctx: FileContext) -> List[Finding]:
+    """Mutable default arguments (shared across calls, leaks state)."""
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        arguments = node.args
+        positional = arguments.posonlyargs + arguments.args
+        pos_defaults = arguments.defaults
+        offset = len(positional) - len(pos_defaults)
+        pairs: List[Tuple[ast.arg, ast.AST]] = [
+            (positional[offset + i], default)
+            for i, default in enumerate(pos_defaults)
+        ]
+        pairs += [
+            (arg, default)
+            for arg, default in zip(arguments.kwonlyargs, arguments.kw_defaults)
+            if default is not None
+        ]
+        for arg, default in pairs:
+            if _is_mutable_default(default):
+                findings.append(_finding(
+                    "REP006", ctx, default,
+                    f"mutable default for parameter '{arg.arg}' is shared "
+                    "across calls — default to None and materialise in the "
+                    "body (fixable with --fix)",
+                ))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# REP007 — handler-purity
+# ---------------------------------------------------------------------------
+
+_SCHEDULE_METHODS = {"schedule", "schedule_at", "call_later", "call_at"}
+
+_MUTATING_METHODS = {
+    "append", "extend", "insert", "add", "update", "remove", "discard",
+    "pop", "popitem", "clear", "setdefault", "sort", "reverse",
+    "appendleft", "popleft",
+}
+
+
+def _callback_names(call: ast.Call) -> List[str]:
+    """Names/attribute-tails of the callback argument of a schedule call."""
+    names: List[str] = []
+    if len(call.args) >= 2:
+        cb = call.args[1]
+        if isinstance(cb, ast.Name):
+            names.append(cb.id)
+        elif isinstance(cb, ast.Attribute):
+            names.append(cb.attr)
+    return names
+
+
+def check_rep007(tree: ast.AST, ctx: FileContext) -> List[Finding]:
+    """Functions scheduled on the engine must not touch module globals.
+
+    Detection: any function whose name appears as the callback argument of a
+    ``.schedule(...)``/``.schedule_at(...)`` call in the same module is a
+    *handler*.  Inside handlers, flag: ``global`` declarations that are
+    written, stores to module-level names, and mutating method calls or
+    subscript stores on module-level names.
+    """
+    if ctx.in_tests:
+        return []
+    module_names: Set[str] = set()
+    for stmt in getattr(tree, "body", []):
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    module_names.add(target.id)
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            module_names.add(stmt.target.id)
+
+    # Collect handler names from schedule call sites.
+    handler_names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in _SCHEDULE_METHODS:
+                handler_names.update(_callback_names(node))
+    if not handler_names:
+        return []
+
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if node.name not in handler_names:
+            continue
+        declared_global: Set[str] = set()
+        for inner in ast.walk(node):
+            if isinstance(inner, ast.Global):
+                declared_global.update(inner.names)
+                findings.append(_finding(
+                    "REP007", ctx, inner,
+                    f"handler '{node.name}' declares global "
+                    f"{', '.join(inner.names)} — event handlers must keep "
+                    "state on the node/protocol instance",
+                ))
+            elif isinstance(inner, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    inner.targets if isinstance(inner, ast.Assign)
+                    else [inner.target]
+                )
+                for target in targets:
+                    base = target
+                    while isinstance(base, (ast.Subscript, ast.Attribute)):
+                        base = base.value
+                    if (
+                        isinstance(base, ast.Name)
+                        and base.id in module_names
+                        and not isinstance(target, ast.Name)
+                    ):
+                        findings.append(_finding(
+                            "REP007", ctx, inner,
+                            f"handler '{node.name}' mutates module-level "
+                            f"'{base.id}' — handler state belongs on the "
+                            "instance",
+                        ))
+            elif isinstance(inner, ast.Call) and isinstance(inner.func, ast.Attribute):
+                if inner.func.attr in _MUTATING_METHODS and isinstance(
+                    inner.func.value, ast.Name
+                ) and inner.func.value.id in module_names:
+                    findings.append(_finding(
+                        "REP007", ctx, inner,
+                        f"handler '{node.name}' calls "
+                        f"{inner.func.value.id}.{inner.func.attr}() on "
+                        "module-level state — handler state belongs on the "
+                        "instance",
+                    ))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# REP008 — assert-validation
+# ---------------------------------------------------------------------------
+
+def check_rep008(tree: ast.AST, ctx: FileContext) -> List[Finding]:
+    """assert used for runtime validation in shipped src/ code."""
+    if not ctx.in_src:
+        return []
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assert):
+            findings.append(_finding(
+                "REP008", ctx, node,
+                "assert is stripped under python -O — raise an explicit "
+                "exception for runtime validation (fixable with --fix)",
+            ))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# REP009 — stray-print
+# ---------------------------------------------------------------------------
+
+def check_rep009(tree: ast.AST, ctx: FileContext) -> List[Finding]:
+    """print() in library code (outside CLI shims, experiments, tests)."""
+    if ctx.in_tests or ctx.is_cli_shim or not ctx.in_src:
+        return []
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "print"
+        ):
+            findings.append(_finding(
+                "REP009", ctx, node,
+                "print() in library code — report via return values or the "
+                "trace recorder",
+            ))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# REP010 — env-dependence
+# ---------------------------------------------------------------------------
+
+def check_rep010(tree: ast.AST, ctx: FileContext) -> List[Finding]:
+    """os.environ / os.getenv / sys.argv outside CLI and config shims."""
+    if ctx.in_tests or ctx.is_cli_shim or ctx.path.endswith("core/config.py"):
+        return []
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        dotted: Optional[str] = None
+        if isinstance(node, ast.Call):
+            dotted = _dotted(node.func)
+            if dotted not in ("os.getenv", "os.environ.get"):
+                dotted = None
+        elif isinstance(node, (ast.Attribute, ast.Subscript)):
+            dotted = _dotted(node if isinstance(node, ast.Attribute) else node.value)
+            if dotted not in ("os.environ", "sys.argv"):
+                dotted = None
+        if dotted:
+            findings.append(_finding(
+                "REP010", ctx, node,
+                f"{dotted} read in library code — environment must enter "
+                "through explicit config (core/config.py) or the CLI",
+            ))
+    # Deduplicate nested matches (os.environ inside os.environ.get, the
+    # Attribute inside the Subscript, etc.) — keep one finding per location.
+    unique: Dict[Tuple[int, int], Finding] = {}
+    for f in findings:
+        unique.setdefault((f.line, f.col), f)
+    return list(unique.values())
+
+
+RULE_CHECKS: Dict[str, Callable[[ast.AST, FileContext], List[Finding]]] = {
+    "REP001": check_rep001,
+    "REP002": check_rep002,
+    "REP003": check_rep003,
+    "REP004": check_rep004,
+    "REP005": check_rep005,
+    "REP006": check_rep006,
+    "REP007": check_rep007,
+    "REP008": check_rep008,
+    "REP009": check_rep009,
+    "REP010": check_rep010,
+}
+
+
+def run_rules(
+    tree: ast.AST,
+    ctx: FileContext,
+    select: "Optional[Set[str]]" = None,
+) -> List[Finding]:
+    """Run all (or the selected subset of) rules over one parsed module."""
+    findings: List[Finding] = []
+    for code, check in RULE_CHECKS.items():
+        if select is not None and code not in select:
+            continue
+        findings.extend(check(tree, ctx))
+    findings.sort(key=lambda f: f.sort_key)
+    return findings

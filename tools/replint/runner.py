@@ -1,0 +1,143 @@
+"""File discovery and per-file analysis orchestration."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence, Set
+
+from replint.baseline import Baseline
+from replint.finding import Finding, PARSE_ERROR_RULE, make_finding
+from replint.fixes import fix_source
+from replint.rules import FileContext, run_rules
+from replint.suppress import collect_suppressions
+
+__all__ = ["AnalysisResult", "analyze_source", "analyze_paths", "iter_python_files"]
+
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "venv", "build", "dist",
+              ".mypy_cache", ".pytest_cache", "node_modules"}
+
+FIXABLE_RULES = {"REP006", "REP008"}
+
+
+@dataclass
+class AnalysisResult:
+    """Findings for one run, already tagged with suppression/baseline state."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    files_fixed: int = 0
+    fixes_applied: int = 0
+
+    @property
+    def active(self) -> List[Finding]:
+        """Findings that were neither suppressed nor baselined nor fixed."""
+        return [
+            f for f in self.findings
+            if not (f.suppressed or f.baselined or f.fixed)
+        ]
+
+    def counts_by_rule(self) -> "dict[str, int]":
+        counts: dict = {}
+        for finding in self.active:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+
+def iter_python_files(paths: Sequence[Path]) -> List[Path]:
+    """Expand files/directories into a sorted, deduplicated .py file list."""
+    found: Set[Path] = set()
+    for path in paths:
+        if path.is_file():
+            if path.suffix == ".py":
+                found.add(path)
+        elif path.is_dir():
+            for child in path.rglob("*.py"):
+                if not any(part in _SKIP_DIRS for part in child.parts):
+                    found.add(child)
+    return sorted(found)
+
+
+def analyze_source(
+    source: str,
+    relpath: str,
+    select: "Optional[Set[str]]" = None,
+) -> List[Finding]:
+    """Analyze one module's source text; suppressions applied, no baseline."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [make_finding(
+            PARSE_ERROR_RULE, relpath, exc.lineno or 1, (exc.offset or 1) - 1,
+            f"could not parse: {exc.msg}",
+        )]
+    ctx = FileContext(path=relpath, lines=source.splitlines())
+    findings = run_rules(tree, ctx, select=select)
+    suppressions = collect_suppressions(source)
+    for finding in findings:
+        if suppressions.is_suppressed(finding.line, finding.rule):
+            finding.suppressed = True
+    return findings
+
+
+def _relpath(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def analyze_paths(
+    paths: Sequence[Path],
+    root: Path,
+    baseline: "Optional[Baseline]" = None,
+    select: "Optional[Set[str]]" = None,
+    fix: bool = False,
+) -> AnalysisResult:
+    """Analyze every Python file under ``paths``.
+
+    With ``fix=True`` the mechanical fixers run first and files are rewritten
+    in place; the findings returned reflect the post-fix state, with the
+    repaired findings included but flagged ``fixed``.
+    """
+    result = AnalysisResult()
+    fix_rules = (
+        FIXABLE_RULES if select is None else (FIXABLE_RULES & select)
+    )
+    for file_path in iter_python_files([Path(p) for p in paths]):
+        relpath = _relpath(file_path, root)
+        source = file_path.read_text(encoding="utf-8")
+        result.files_checked += 1
+
+        if fix and fix_rules:
+            # Only rules with an unsuppressed finding in *this* file may
+            # rewrite it (REP008 does not apply outside src/, so a tests
+            # file with asserts must never be touched).
+            present = {
+                f.rule
+                for f in analyze_source(source, relpath, select=select)
+                if f.rule in fix_rules and not f.suppressed
+            }
+            if present:
+                try:
+                    new_source, n_fixed = fix_source(source, present)
+                except SyntaxError:
+                    new_source, n_fixed = source, 0
+                if n_fixed and new_source != source:
+                    file_path.write_text(new_source, encoding="utf-8")
+                    source = new_source
+                    result.files_fixed += 1
+                    result.fixes_applied += n_fixed
+
+        findings = analyze_source(source, relpath, select=select)
+        for finding in findings:
+            if (
+                baseline is not None
+                and not finding.suppressed
+                and baseline.consume(finding)
+            ):
+                finding.baselined = True
+            result.findings.append(finding)
+    result.findings.sort(key=lambda f: f.sort_key)
+    return result

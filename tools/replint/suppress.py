@@ -1,0 +1,69 @@
+"""Per-line suppression comments.
+
+A finding on line *L* is suppressed when line *L* carries a comment of the
+form::
+
+    ... # replint: disable=REP001
+    ... # replint: disable=REP001,REP003
+    ... # replint: disable
+
+The bare form silences every rule on that line (use sparingly; reviewers see
+exactly what is being waived either way).  Comments are discovered with the
+:mod:`tokenize` module so strings containing the magic text do not count.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, FrozenSet, Optional
+
+__all__ = ["SuppressionMap", "collect_suppressions"]
+
+_DIRECTIVE = re.compile(r"#\s*replint:\s*disable(?:=(?P<codes>[A-Z0-9,\s]+))?")
+
+# Sentinel meaning "every rule".
+ALL_RULES: FrozenSet[str] = frozenset({"*"})
+
+
+class SuppressionMap:
+    """Maps line numbers to the set of rule codes disabled there."""
+
+    def __init__(self, by_line: "Optional[Dict[int, FrozenSet[str]]]" = None):
+        self._by_line: Dict[int, FrozenSet[str]] = by_line if by_line is not None else {}
+
+    def is_suppressed(self, line: int, rule: str) -> bool:
+        codes = self._by_line.get(line)
+        if codes is None:
+            return False
+        return codes is ALL_RULES or "*" in codes or rule in codes
+
+    def __len__(self) -> int:
+        return len(self._by_line)
+
+
+def collect_suppressions(source: str) -> SuppressionMap:
+    """Scan ``source`` for replint disable comments."""
+    by_line: Dict[int, FrozenSet[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _DIRECTIVE.search(tok.string)
+            if not match:
+                continue
+            raw = match.group("codes")
+            if raw is None:
+                by_line[tok.start[0]] = ALL_RULES
+            else:
+                codes = frozenset(
+                    code.strip() for code in raw.split(",") if code.strip()
+                )
+                existing = by_line.get(tok.start[0], frozenset())
+                by_line[tok.start[0]] = existing | codes
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # An unparseable file surfaces as REP000 elsewhere; no suppressions.
+        return SuppressionMap()
+    return SuppressionMap(by_line)
