@@ -1,0 +1,78 @@
+"""Simulator-core throughput: the event loop with and without observability.
+
+Three measurements back the zero-overhead-when-disabled contract and the CI
+perf-smoke artifact:
+
+* a plain one-hop dissemination (no profiler, no sink) — the baseline the
+  engine's single ``profiler is None`` check must not disturb,
+* the same run with the event-loop profiler and structured-event sink
+  attached (the cost of *enabled* observability, for comparison),
+* the ``run_perf_smoke`` entry point CI uses to write ``BENCH_sim_core.json``
+  plus manifest/trace artifacts.
+"""
+
+import json
+
+from repro.experiments.scenarios import OneHopScenario, run_one_hop
+from repro.obs.events import EventLog
+from repro.obs.profile import LoopProfiler
+from repro.obs.report import run_perf_smoke
+from repro.sim.engine import Simulator
+from repro.sim.trace import TraceRecorder
+
+
+def _scenario(full_scale: bool) -> OneHopScenario:
+    if full_scale:
+        return OneHopScenario(protocol="lr-seluge", loss_rate=0.1,
+                              receivers=20, image_size=20 * 1024, k=32, n=48)
+    return OneHopScenario(protocol="lr-seluge", loss_rate=0.1,
+                          receivers=8, image_size=4 * 1024, k=8, n=12)
+
+
+def test_event_loop_plain(benchmark, full_scale):
+    """Baseline: instrumentation off, the hot path the contract protects."""
+    scenario = _scenario(full_scale)
+
+    def run():
+        return run_one_hop(scenario)
+
+    result = benchmark(run)
+    assert result.completed
+
+
+def test_event_loop_instrumented(benchmark, full_scale):
+    """Profiler + structured sink attached: the cost of observability ON."""
+    scenario = _scenario(full_scale)
+
+    def run():
+        sim = Simulator()
+        profiler = LoopProfiler()
+        sim.set_profiler(profiler)
+        log = EventLog()
+        trace = TraceRecorder(sink=log)
+        result = run_one_hop(scenario, sim=sim, trace=trace)
+        return result, profiler, log
+
+    result, profiler, log = benchmark(run)
+    assert result.completed
+    assert profiler.events > 0
+    assert len(log) > 0
+
+
+def test_perf_smoke_artifact(tmp_path, full_scale):
+    """The CI entry point end to end: bench JSON + manifest + traces."""
+    bench_path = tmp_path / "BENCH_sim_core.json"
+    bench, report = run_perf_smoke(
+        bench_path,
+        manifest_out=tmp_path / "perf.manifest.json",
+        trace_out=tmp_path / "perf.trace.jsonl",
+        chrome_out=tmp_path / "perf.chrome.json",
+        receivers=20 if full_scale else 8,
+        image_kib=20 if full_scale else 4,
+    )
+    assert bench["completed"]
+    assert bench["events_per_s"] > 0
+    written = json.loads(bench_path.read_text())
+    assert written["name"] == "sim_core_perf_smoke"
+    print()
+    print(report)

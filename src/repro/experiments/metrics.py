@@ -14,7 +14,7 @@ fault-free baseline of the same scenario.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 __all__ = ["RunResult", "DegradationReport", "degradation"]
 
@@ -31,6 +31,7 @@ class RunResult:
     images_ok: Optional[bool] = None
     seed: int = 0
     n_nodes: Optional[int] = None   # tracked receivers (excludes the base)
+    tracked: Optional[Tuple[int, ...]] = None  # ids behind n_nodes, if known
 
     # -- the paper's five metrics ------------------------------------------------
 
@@ -65,12 +66,21 @@ class RunResult:
 
     @property
     def completion_rate(self) -> Optional[float]:
-        """Fraction of tracked nodes that completed (None when untracked)."""
+        """Fraction of tracked nodes that completed (None when untracked).
+
+        Completion events can arrive from nodes outside the tracked set
+        (e.g. a late base-station republish, or a caller folding several
+        node populations into one recorder); only completions from tracked
+        ids count, and the rate is clamped so it can never exceed 1.0.
+        """
         if self.n_nodes is None:
             return None
         if self.n_nodes == 0:
             return 1.0
-        return len(self.per_node_completion) / self.n_nodes
+        done = len(self.per_node_completion)
+        if self.tracked is not None:
+            done = len(set(self.tracked) & set(self.per_node_completion))
+        return min(done, self.n_nodes) / self.n_nodes
 
     @property
     def crash_count(self) -> int:

@@ -59,13 +59,23 @@ def run_network(
     expected_image: Optional[bytes] = None,
     chunk: float = 5.0,
     seed: int = 0,
+    manifest_path: Optional[str] = None,
+    manifest_config: Optional[Dict[str, object]] = None,
 ) -> RunResult:
-    """Run until every tracked node completes or ``max_time`` elapses."""
+    """Run until every tracked node completes or ``max_time`` elapses.
+
+    With ``manifest_path`` set, a :class:`repro.obs.manifest.RunManifest`
+    (seed, config, git rev, counters, wall/sim timings) is written there
+    after the run.
+    """
+    from repro.experiments.reporting import stopwatch
+
     tracker.expect([n.node_id for n in nodes])
     for node in nodes:
         node.start()
-    while not tracker.all_done and sim.now < max_time:
-        sim.run(until=min(sim.now + chunk, max_time))
+    with stopwatch() as elapsed:
+        while not tracker.all_done and sim.now < max_time:
+            sim.run(until=min(sim.now + chunk, max_time))
     completed = tracker.all_done
     counters = tracker.snapshot if completed else trace.snapshot()
     latency = tracker.done_time if completed else max_time
@@ -74,7 +84,7 @@ def run_network(
         images_ok = completed and all(
             node.image_bytes() == expected_image for node in nodes
         )
-    return RunResult(
+    result = RunResult(
         protocol=protocol,
         completed=completed,
         latency=latency,
@@ -83,4 +93,17 @@ def run_network(
         images_ok=images_ok,
         seed=seed,
         n_nodes=len(nodes),
+        tracked=tuple(sorted(tracker.expected or ())),
     )
+    if manifest_path is not None:
+        from repro.obs.manifest import RunManifest
+
+        config: Dict[str, object] = {"protocol": protocol, "max_time": max_time}
+        if manifest_config:
+            config.update(manifest_config)
+        RunManifest.from_run(
+            "repro.experiments.runner", result, config=config,
+            wall_s=elapsed(), sim=sim,
+            unregistered=trace.registry.unregistered_names(),
+        ).write(manifest_path)
+    return result

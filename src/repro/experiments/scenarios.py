@@ -125,11 +125,20 @@ class OneHopScenario:
         return replace(self, protocol=protocol)
 
 
-def run_one_hop(scenario: OneHopScenario) -> RunResult:
-    """Simulate one one-hop dissemination and return its metrics."""
+def run_one_hop(
+    scenario: OneHopScenario,
+    sim: Optional[Simulator] = None,
+    trace: Optional[TraceRecorder] = None,
+) -> RunResult:
+    """Simulate one one-hop dissemination and return its metrics.
+
+    ``sim``/``trace`` may be supplied by observability callers (profiler
+    installed, structured-event sink attached); defaults are fresh instances
+    and the run is bit-identical either way.
+    """
     rngs = RngRegistry(scenario.seed)
-    sim = Simulator()
-    trace = TraceRecorder()
+    sim = sim if sim is not None else Simulator()
+    trace = trace if trace is not None else TraceRecorder()
     topo = star_topology(scenario.receivers)
     loss = BernoulliLoss(scenario.loss_rate)
     radio = Radio(
@@ -235,14 +244,16 @@ class FaultyGridScenario:
 def run_faulty_grid(
     scenario: FaultyGridScenario,
     trace: Optional[TraceRecorder] = None,
+    sim: Optional[Simulator] = None,
 ) -> RunResult:
     """Simulate a grid dissemination under the scenario's fault model.
 
     Pass a ``TraceRecorder(keep_records=True)`` to capture the full fault /
-    recovery event sequence (crash, reboot with resume unit, link churn).
+    recovery event sequence (crash, reboot with resume unit, link churn);
+    pass a ``sim`` to profile the event loop.
     """
     rngs = RngRegistry(scenario.seed)
-    sim = Simulator()
+    sim = sim if sim is not None else Simulator()
     trace = trace if trace is not None else TraceRecorder()
     topo = _build_topology(scenario, rngs)
     loss: LossModel
@@ -296,11 +307,15 @@ def run_faulty_grid(
     )
 
 
-def run_multihop(scenario: MultiHopScenario) -> RunResult:
+def run_multihop(
+    scenario: MultiHopScenario,
+    sim: Optional[Simulator] = None,
+    trace: Optional[TraceRecorder] = None,
+) -> RunResult:
     """Simulate a multi-hop dissemination over a grid and return metrics."""
     rngs = RngRegistry(scenario.seed)
-    sim = Simulator()
-    trace = TraceRecorder()
+    sim = sim if sim is not None else Simulator()
+    trace = trace if trace is not None else TraceRecorder()
     topo = _build_topology(scenario, rngs)
     loss: LossModel
     if scenario.bursty_only:

@@ -1,0 +1,36 @@
+"""Observability subsystem: metrics, traces, profiles, and run manifests.
+
+The paper's entire evaluation is a measurement exercise, so measurement is a
+first-class subsystem here rather than an ad-hoc ``Counter``:
+
+* :mod:`repro.obs.catalog` — the central metric-name vocabulary (names,
+  units, help text).  replint rule REP011 enforces that every
+  ``trace.count``/``trace.record`` kind literal comes from this catalogue.
+* :mod:`repro.obs.registry` — the typed metrics registry
+  (counters/gauges/histograms) that :class:`repro.sim.trace.TraceRecorder`
+  is a façade over.
+* :mod:`repro.obs.events` — schema-versioned structured trace events with
+  span support, JSONL persistence, and a Chrome ``trace_event`` / Perfetto
+  exporter.
+* :mod:`repro.obs.profile` — the event-loop profiler (per-handler wall time
+  and event counts, heap occupancy, events/sec) that plugs into
+  :class:`repro.sim.engine.Simulator`; also the *only* sanctioned wall-clock
+  call site besides ``experiments/reporting.py`` (replint REP002).
+* :mod:`repro.obs.manifest` — run manifests (seed, config, git rev,
+  counters, timings) and manifest diffing.
+* :mod:`repro.obs.report` / ``python -m repro.obs`` — summarise or diff
+  manifests, and the ``perf-smoke`` benchmark entry point used by CI.
+
+This ``__init__`` deliberately imports nothing: ``repro.sim.trace`` (checked
+under ``mypy --strict``) imports :mod:`repro.obs.registry`, and keeping the
+package root empty keeps that import surface minimal and cycle-free.
+"""
+
+__all__ = [
+    "catalog",
+    "events",
+    "manifest",
+    "profile",
+    "registry",
+    "report",
+]

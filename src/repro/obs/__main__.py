@@ -1,0 +1,100 @@
+"""Observability CLI: summarise/diff run manifests, inspect traces, perf-smoke.
+
+::
+
+    python -m repro.obs report run.manifest.json
+    python -m repro.obs report --diff before.json after.json
+    python -m repro.obs trace run.trace.jsonl
+    python -m repro.obs perf-smoke --out BENCH_sim_core.json \\
+        --manifest perf.manifest.json --trace perf.trace.jsonl \\
+        --chrome-trace perf.chrome.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.obs.manifest import RunManifest
+from repro.obs.report import (
+    diff_report,
+    manifest_summary,
+    run_perf_smoke,
+    trace_summary,
+)
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Summarise, diff, and generate observability artifacts.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser("report", help="summarise one manifest or diff two")
+    report.add_argument("manifest", nargs="*",
+                        help="manifest JSON file(s); one to summarise")
+    report.add_argument("--diff", nargs=2, metavar=("A", "B"), default=None,
+                        help="diff two manifest files")
+    report.add_argument("--top", type=int, default=25,
+                        help="counters to show in the summary table")
+
+    trace = sub.add_parser("trace", help="summarise a JSONL trace file")
+    trace.add_argument("trace_file")
+
+    smoke = sub.add_parser("perf-smoke",
+                           help="run a small profiled dissemination (CI)")
+    smoke.add_argument("--out", default="BENCH_sim_core.json",
+                       help="benchmark JSON output path")
+    smoke.add_argument("--manifest", default=None,
+                       help="also write a run manifest here")
+    smoke.add_argument("--trace", default=None,
+                       help="also write the JSONL trace here")
+    smoke.add_argument("--chrome-trace", default=None,
+                       help="also write a Chrome/Perfetto trace here")
+    smoke.add_argument("--seed", type=int, default=1)
+    smoke.add_argument("--receivers", type=int, default=8)
+    smoke.add_argument("--image-kib", type=int, default=4)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "report":
+        if args.diff:
+            a = RunManifest.load(args.diff[0])
+            b = RunManifest.load(args.diff[1])
+            print(diff_report(a, b, a_name=args.diff[0], b_name=args.diff[1]))
+            return 0
+        if len(args.manifest) != 1:
+            raise SystemExit("report takes one manifest file, or --diff A B")
+        print(manifest_summary(RunManifest.load(args.manifest[0]),
+                               top=args.top))
+        return 0
+    if args.command == "trace":
+        print(trace_summary(args.trace_file))
+        return 0
+    if args.command == "perf-smoke":
+        bench, profile_text = run_perf_smoke(
+            args.out, manifest_out=args.manifest, trace_out=args.trace,
+            chrome_out=args.chrome_trace, seed=args.seed,
+            receivers=args.receivers, image_kib=args.image_kib,
+        )
+        print(profile_text)
+        print(f"wrote {args.out}: {bench['events']} events, "
+              f"{bench['events_per_s']:,.0f} events/s, "
+              f"completed={bench['completed']}")
+        if args.manifest:
+            print(f"wrote manifest {args.manifest}")
+        if args.trace:
+            print(f"wrote trace {args.trace} ({bench['trace_events']} events)")
+        if args.chrome_trace:
+            print(f"wrote chrome trace {args.chrome_trace}")
+        return 0
+    raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":
+    sys.exit(main())

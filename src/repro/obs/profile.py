@@ -1,0 +1,145 @@
+"""Event-loop profiler: where does the simulator's wall-clock time go?
+
+:class:`LoopProfiler` plugs into :meth:`repro.sim.engine.Simulator.set_profiler`
+and attributes wall time and event counts to each handler (by qualified
+name), tracks heap occupancy at every event, and summarises events/sec.
+The engine pays a single ``is None`` check per event when profiling is off —
+the zero-overhead-when-disabled contract the benchmarks rely on.
+
+Together with ``experiments/reporting.py`` this module is a sanctioned
+wall-clock call site (replint REP002): profiling is *measurement about* the
+simulation, never an input to it.  :func:`utc_now_iso` lives here for the
+same reason — run manifests need a creation timestamp, and routing it
+through this module keeps the clock audit surface at two files.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = ["HandlerStat", "LoopProfiler", "utc_now_iso"]
+
+
+def utc_now_iso() -> str:
+    """Current UTC time, ISO-8601 with seconds precision (manifest stamps)."""
+    return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+
+
+@dataclass
+class HandlerStat:
+    """Accumulated cost of one event handler."""
+
+    name: str
+    calls: int = 0
+    total_s: float = 0.0
+    max_s: float = 0.0
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.calls if self.calls else 0.0
+
+
+def _handler_name(fn: Callable[..., Any]) -> str:
+    name = getattr(fn, "__qualname__", None)
+    if name is None:
+        name = getattr(fn, "__name__", None) or repr(fn)
+    module = getattr(fn, "__module__", "") or ""
+    short = module.rsplit(".", 1)[-1]
+    return f"{short}.{name}" if short else str(name)
+
+
+class LoopProfiler:
+    """Per-handler wall-time and event-count attribution for one simulator."""
+
+    def __init__(self) -> None:
+        self.handlers: Dict[str, HandlerStat] = {}
+        self.events = 0
+        self.total_s = 0.0
+        self.peak_heap = 0
+        # Cache fn -> name: resolving __qualname__ per event would dominate
+        # the cost of profiling tiny handlers.
+        self._names: Dict[int, str] = {}
+        self._cached_fns: Dict[int, Callable[..., Any]] = {}
+
+    # -- the engine-facing hook (repro.sim.engine.SimProfiler) ----------------
+
+    def clock(self) -> float:
+        return time.perf_counter()
+
+    def record(self, fn: Callable[..., Any], elapsed: float, heap_len: int) -> None:
+        self.events += 1
+        self.total_s += elapsed
+        if heap_len > self.peak_heap:
+            self.peak_heap = heap_len
+        # Bound methods are recreated per access; key the cache on the
+        # underlying function object so each handler resolves once.
+        target = getattr(fn, "__func__", fn)
+        key = id(target)
+        name = self._names.get(key)
+        if name is None:
+            name = _handler_name(fn)
+            self._names[key] = name
+            self._cached_fns[key] = target  # keep target alive: id() stability
+        stat = self.handlers.get(name)
+        if stat is None:
+            stat = HandlerStat(name)
+            self.handlers[name] = stat
+        stat.calls += 1
+        stat.total_s += elapsed
+        if elapsed > stat.max_s:
+            stat.max_s = elapsed
+
+    # -- reporting -------------------------------------------------------------
+
+    def top_handlers(self, limit: Optional[int] = None) -> List[HandlerStat]:
+        ranked = sorted(
+            self.handlers.values(), key=lambda s: (-s.total_s, s.name)
+        )
+        return ranked if limit is None else ranked[:limit]
+
+    def events_per_second(self) -> float:
+        return self.events / self.total_s if self.total_s > 0 else 0.0
+
+    def summary(self, heap_stats: Optional[Dict[str, int]] = None) -> Dict[str, Any]:
+        """JSON-ready profile summary (embedded in run manifests)."""
+        out: Dict[str, Any] = {
+            "events": self.events,
+            "handler_wall_s": round(self.total_s, 6),
+            "events_per_s": round(self.events_per_second(), 1),
+            "peak_heap": self.peak_heap,
+            "handlers": [
+                {
+                    "name": s.name,
+                    "calls": s.calls,
+                    "total_s": round(s.total_s, 6),
+                    "mean_us": round(s.mean_s * 1e6, 3),
+                    "max_us": round(s.max_s * 1e6, 3),
+                }
+                for s in self.top_handlers()
+            ],
+        }
+        if heap_stats is not None:
+            out["heap"] = dict(heap_stats)
+        return out
+
+    def report(self, limit: int = 15) -> str:
+        """Aligned text table of the costliest handlers."""
+        from repro.experiments.reporting import format_table
+
+        rows: List[List[object]] = [
+            [s.name, s.calls, round(s.total_s * 1e3, 3),
+             round(s.mean_s * 1e6, 2), round(s.max_s * 1e6, 2)]
+            for s in self.top_handlers(limit)
+        ]
+        title = (
+            f"event-loop profile: {self.events} events, "
+            f"{self.total_s * 1e3:.1f} ms in handlers, "
+            f"{self.events_per_second():,.0f} events/s, "
+            f"peak heap {self.peak_heap}"
+        )
+        return format_table(
+            ["handler", "calls", "total_ms", "mean_us", "max_us"], rows,
+            title=title,
+        )

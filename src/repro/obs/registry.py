@@ -1,0 +1,181 @@
+"""Typed metrics registry: counters, gauges, and histograms with specs.
+
+:class:`MetricsRegistry` owns the numeric state a simulation accumulates.
+:class:`repro.sim.trace.TraceRecorder` is a thin façade over it — the
+recorder's ``counters`` attribute *is* the registry's counter store, so the
+hot path (``trace.count``) stays a single dict update while every name can
+be resolved back to its :class:`~repro.obs.catalog.MetricSpec` for units and
+help text in reports.
+
+This module is imported by ``repro.sim.trace`` and is therefore part of the
+``mypy --strict`` surface; it deliberately imports only the catalogue.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.catalog import METRICS, MetricSpec, is_known_metric, spec_for
+
+__all__ = [
+    "CounterMetric",
+    "GaugeMetric",
+    "HistogramMetric",
+    "MetricsRegistry",
+]
+
+
+@dataclass
+class CounterMetric:
+    """Typed handle for one monotonically increasing counter."""
+
+    name: str
+    _values: "Counter[str]"
+
+    def inc(self, amount: int = 1) -> None:
+        self._values[self.name] += amount
+
+    @property
+    def value(self) -> int:
+        return self._values[self.name]
+
+
+@dataclass
+class GaugeMetric:
+    """Typed handle for one point-in-time level."""
+
+    name: str
+    _values: Dict[str, float]
+
+    def set(self, value: float) -> None:
+        self._values[self.name] = value
+
+    @property
+    def value(self) -> float:
+        return self._values.get(self.name, 0.0)
+
+
+@dataclass
+class HistogramMetric:
+    """Streaming distribution summary: count, sum, min, max.
+
+    Deliberately bucket-free — the simulator's distributions of interest
+    (handler latencies, span durations) are summarised and the full-fidelity
+    stream lives in the structured trace, not the registry.
+    """
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    min_value: float = field(default=float("inf"))
+    max_value: float = field(default=float("-inf"))
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min_value:
+            self.min_value = value
+        if value > self.max_value:
+            self.max_value = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        if not self.count:
+            return {"count": 0.0, "sum": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0}
+        return {
+            "count": float(self.count),
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min_value,
+            "max": self.max_value,
+        }
+
+
+class MetricsRegistry:
+    """Declared metrics plus their accumulated values.
+
+    Counter state is a plain :class:`collections.Counter` exposed as
+    :attr:`counters` so the :class:`~repro.sim.trace.TraceRecorder` façade
+    can alias it directly — incrementing a counter costs exactly what it
+    cost before the registry existed.  Unknown names are accepted (ad-hoc
+    counters keep working) but are reported by :meth:`unregistered_names`;
+    run manifests record the count under ``obs_unregistered_metric``.
+    """
+
+    def __init__(self, specs: Optional[Iterable[MetricSpec]] = None) -> None:
+        chosen: Tuple[MetricSpec, ...] = (
+            METRICS if specs is None else tuple(specs)
+        )
+        self._specs: Dict[str, MetricSpec] = {s.name: s for s in chosen}
+        self.counters: "Counter[str]" = Counter()
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, HistogramMetric] = {}
+
+    # -- declaration ---------------------------------------------------------
+
+    def register(self, spec: MetricSpec) -> MetricSpec:
+        """Add (or replace) one declared metric."""
+        self._specs[spec.name] = spec
+        return spec
+
+    def spec(self, name: str) -> Optional[MetricSpec]:
+        """The declared spec for ``name`` (family spec for dynamic names)."""
+        found = self._specs.get(name)
+        if found is not None:
+            return found
+        return spec_for(name)
+
+    # -- typed handles --------------------------------------------------------
+
+    def counter(self, name: str) -> CounterMetric:
+        return CounterMetric(name, self.counters)
+
+    def gauge(self, name: str) -> GaugeMetric:
+        return GaugeMetric(name, self.gauges)
+
+    def histogram(self, name: str) -> HistogramMetric:
+        found = self.histograms.get(name)
+        if found is None:
+            found = HistogramMetric(name)
+            self.histograms[name] = found
+        return found
+
+    # -- direct accumulation (the hot path) -----------------------------------
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        self.counters[name] += amount
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    # -- introspection ---------------------------------------------------------
+
+    def unregistered_names(self) -> List[str]:
+        """Counter names used without a catalogue/registry declaration."""
+        return sorted(
+            name
+            for name in self.counters
+            if name not in self._specs and not is_known_metric(name)
+        )
+
+    def snapshot(self) -> Dict[str, int]:
+        """A plain-dict copy of all counters (the legacy trace snapshot)."""
+        return dict(self.counters)
+
+    def full_snapshot(self) -> Dict[str, object]:
+        """Counters, gauges, and histogram summaries, JSON-ready."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {
+                name: hist.summary() for name, hist in sorted(self.histograms.items())
+            },
+        }

@@ -1,0 +1,222 @@
+"""Human-readable views over manifests and traces, plus the perf-smoke run.
+
+Everything here *returns strings* — printing is the job of the CLI shim in
+``repro.obs.__main__`` — so the same renderings are usable from tests and
+notebooks without capturing stdout.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.obs.catalog import spec_for
+from repro.obs.manifest import RunManifest, diff_manifests
+
+__all__ = [
+    "manifest_summary",
+    "diff_report",
+    "trace_summary",
+    "run_perf_smoke",
+]
+
+
+def _fmt_value(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return f"{value:.4g}"
+
+
+def manifest_summary(manifest: RunManifest, top: int = 25) -> str:
+    """One manifest as header lines plus an annotated counter table."""
+    from repro.experiments.reporting import format_table
+
+    lines: List[str] = [
+        f"tool:        {manifest.tool}",
+        f"created:     {manifest.created_utc}",
+        f"git rev:     {manifest.git_rev or 'unknown'}",
+        f"seed:        {manifest.seed}",
+    ]
+    if manifest.config:
+        cfg = ", ".join(f"{k}={v}" for k, v in sorted(manifest.config.items()))
+        lines.append(f"config:      {cfg}")
+    if manifest.metrics:
+        metrics = "  ".join(
+            f"{name}={_fmt_value(value)}"
+            for name, value in sorted(manifest.metrics.items())
+        )
+        lines.append(f"metrics:     {metrics}")
+    if manifest.timings:
+        timings = "  ".join(
+            f"{name}={_fmt_value(value)}"
+            for name, value in sorted(manifest.timings.items())
+        )
+        lines.append(f"timings:     {timings}")
+    if manifest.trace_file:
+        lines.append(f"trace:       {manifest.trace_file}")
+    if manifest.unregistered_metrics:
+        lines.append(
+            "unregistered counters: " + ", ".join(manifest.unregistered_metrics)
+        )
+    if manifest.counters:
+        ranked = sorted(manifest.counters.items(), key=lambda kv: (-kv[1], kv[0]))
+        rows: List[List[object]] = []
+        for name, value in ranked[:top]:
+            spec = spec_for(name)
+            rows.append([
+                name, value,
+                spec.unit if spec else "?",
+                spec.help if spec else "(not in catalogue)",
+            ])
+        title = f"top {min(top, len(ranked))} of {len(ranked)} counters"
+        lines.append("")
+        lines.append(format_table(["counter", "value", "unit", "help"], rows,
+                                  title=title))
+    if manifest.profile:
+        handlers = manifest.profile.get("handlers", [])
+        rows = [
+            [h.get("name", "?"), h.get("calls", 0), h.get("total_s", 0.0),
+             h.get("mean_us", 0.0), h.get("max_us", 0.0)]
+            for h in handlers[:10]
+        ]
+        if rows:
+            lines.append("")
+            lines.append(format_table(
+                ["handler", "calls", "total_s", "mean_us", "max_us"], rows,
+                title="event-loop profile (top handlers)",
+            ))
+    return "\n".join(lines)
+
+
+def diff_report(a: RunManifest, b: RunManifest,
+                a_name: str = "a", b_name: str = "b") -> str:
+    """Counter/metric/timing deltas between two manifests as a table."""
+    from repro.experiments.reporting import format_table
+
+    rows = diff_manifests(a, b)
+    header = (
+        f"{a_name}: {a.tool} seed={a.seed} rev={a.git_rev or '?'} "
+        f"({a.created_utc})\n"
+        f"{b_name}: {b.tool} seed={b.seed} rev={b.git_rev or '?'} "
+        f"({b.created_utc})"
+    )
+    if not rows:
+        return header + "\nno differences"
+    table_rows: List[List[object]] = [
+        [name, _fmt_value(va), _fmt_value(vb), f"{delta:+g}",
+         "n/a" if pct is None else f"{pct:+.1f}%"]
+        for name, va, vb, delta, pct in rows
+    ]
+    return header + "\n\n" + format_table(
+        ["quantity", a_name, b_name, "delta", "pct"], table_rows,
+        title=f"{len(rows)} differing quantities",
+    )
+
+
+def trace_summary(path: Union[str, Path]) -> str:
+    """Quick shape of a JSONL trace: per-kind counts and span durations."""
+    from repro.experiments.reporting import format_table
+    from repro.obs.events import load_jsonl
+
+    header, events = load_jsonl(path)
+    kinds: Dict[str, int] = {}
+    span_total: Dict[str, float] = {}
+    span_count: Dict[str, int] = {}
+    for event in events:
+        kinds[event.kind] = kinds.get(event.kind, 0) + 1
+        if event.dur is not None:
+            span_total[event.kind] = span_total.get(event.kind, 0.0) + event.dur
+            span_count[event.kind] = span_count.get(event.kind, 0) + 1
+    rows: List[List[object]] = []
+    for kind, count in sorted(kinds.items(), key=lambda kv: (-kv[1], kv[0])):
+        n_spans = span_count.get(kind, 0)
+        mean = span_total[kind] / n_spans if n_spans else 0.0
+        rows.append([kind, count, n_spans, round(mean, 3)])
+    title = (
+        f"{header.get('events', len(events))} events "
+        f"({header.get('dropped', 0)} dropped), schema v{header.get('schema_version')}"
+    )
+    return format_table(["kind", "events", "spans", "mean_span_s"], rows,
+                        title=title)
+
+
+def run_perf_smoke(
+    bench_out: Union[str, Path],
+    manifest_out: Optional[Union[str, Path]] = None,
+    trace_out: Optional[Union[str, Path]] = None,
+    chrome_out: Optional[Union[str, Path]] = None,
+    seed: int = 1,
+    receivers: int = 8,
+    image_kib: int = 4,
+) -> Tuple[Dict[str, Any], str]:
+    """Run a small profiled dissemination and write ``BENCH_sim_core.json``.
+
+    This is the CI perf-smoke entry point: one one-hop dissemination with the
+    event-loop profiler and structured tracing enabled, summarised into a
+    benchmark JSON (events/sec, handler attribution) plus optional manifest
+    and trace artifacts.  Returns ``(bench_dict, profile_report_text)``.
+    """
+    from repro.experiments.reporting import stopwatch
+    from repro.experiments.scenarios import OneHopScenario, run_one_hop
+    from repro.obs.events import EventLog
+    from repro.obs.profile import LoopProfiler
+    from repro.sim.engine import Simulator
+    from repro.sim.trace import TraceRecorder
+
+    scenario = OneHopScenario(
+        protocol="lr-seluge", loss_rate=0.1, receivers=receivers,
+        image_size=image_kib * 1024, k=8, n=12, seed=seed,
+    )
+    sim = Simulator()
+    profiler = LoopProfiler()
+    sim.set_profiler(profiler)
+    log = EventLog()
+    trace = TraceRecorder(sink=log)
+    with stopwatch() as elapsed:
+        result = run_one_hop(scenario, sim=sim, trace=trace)
+    wall_s = elapsed()
+    log.flush_open_spans(sim.now)
+
+    trace_file: Optional[str] = None
+    if trace_out is not None:
+        trace_file = str(log.write_jsonl(trace_out))
+    if chrome_out is not None:
+        log.write_chrome_trace(chrome_out)
+
+    heap = sim.heap_stats()
+    profile = profiler.summary(heap_stats=heap)
+    config = {
+        "protocol": scenario.protocol,
+        "receivers": scenario.receivers,
+        "loss_rate": scenario.loss_rate,
+        "image_kib": image_kib,
+        "k": scenario.k,
+        "n": scenario.n,
+    }
+    manifest = RunManifest.from_run(
+        "repro.obs.perf-smoke", result, config=config, wall_s=wall_s,
+        sim=sim, profile=profile, trace_file=trace_file,
+        unregistered=trace.registry.unregistered_names(),
+    )
+    if manifest_out is not None:
+        manifest.write(manifest_out)
+
+    bench: Dict[str, Any] = {
+        "name": "sim_core_perf_smoke",
+        "git_rev": manifest.git_rev,
+        "created_utc": manifest.created_utc,
+        "config": config,
+        "completed": result.completed,
+        "events": sim.processed_events,
+        "sim_time_s": sim.now,
+        "wall_s": round(wall_s, 6),
+        "events_per_s": round(sim.processed_events / wall_s, 1) if wall_s else 0.0,
+        "heap": heap,
+        "handler_wall_s": profile["handler_wall_s"],
+        "top_handlers": profile["handlers"][:5],
+        "trace_events": len(log),
+    }
+    Path(bench_out).write_text(json.dumps(bench, indent=2) + "\n",
+                               encoding="utf-8")
+    return bench, profiler.report()

@@ -173,6 +173,8 @@ class DisseminationNode(NetworkNode):
     def start(self) -> None:
         """Begin operating; the base station also pushes the signature packet."""
         self.trickle.start()
+        if not self.is_base and not self.complete:
+            self.trace.span_begin(self.sim.now, "span_disseminate", self.node_id)
         if self.is_base:
             if self.uses_signature and self._signature_packet is not None:
                 delay = self.rng.uniform(0.0, 0.05)
@@ -565,6 +567,12 @@ class DisseminationNode(NetworkNode):
                 authentic = buffered == pkt
             elif self.pipeline.authenticate(pkt):
                 authentic = True
+                if not self._rx_buffer:
+                    # First buffered packet of this page: open its assembly
+                    # span (first packet -> verified decode).
+                    self.trace.span_begin(self.sim.now, "span_page",
+                                          self.node_id, key=pkt.unit,
+                                          unit=pkt.unit)
                 self._rx_buffer[pkt.index] = pkt
                 self._request_tries = 0
                 if self._request_timer.armed:
@@ -635,12 +643,16 @@ class DisseminationNode(NetworkNode):
         self._request_tries = 0
         self._request_timer.cancel()
         self.trickle.heard_inconsistent()  # state changed: gossip fast
-        self.trace.record(self.sim.now, "unit_complete", self.node_id, unit=self.units_complete - 1)
+        completed_unit = self.units_complete - 1
+        self.trace.record(self.sim.now, "unit_complete", self.node_id, unit=completed_unit)
+        self.trace.span_end(self.sim.now, "span_page", self.node_id,
+                            key=completed_unit, unit=completed_unit)
         total = self.total_units
         if total is not None and self.units_complete >= total:
             self.complete = True
             self.completion_time = self.sim.now
             self.trace.record(self.sim.now, "node_complete", self.node_id)
+            self.trace.span_end(self.sim.now, "span_disseminate", self.node_id)
             if self.on_complete is not None:
                 self.on_complete(self)
             return
@@ -671,6 +683,10 @@ class DisseminationNode(NetworkNode):
         if policy is None:
             policy = self.make_tx_policy(request.unit)
             self._service[request.unit] = policy
+            # TX service span: first SNACK for the unit until the policy
+            # drains in the pump.
+            self.trace.span_begin(self.sim.now, "span_serve", self.node_id,
+                                  key=request.unit, unit=request.unit)
         policy.on_snack(sender, request.needed)
         if not self._tx_timer.armed:
             self._tx_timer.start(self.timing.tx_aggregation_delay)
@@ -690,6 +706,10 @@ class DisseminationNode(NetworkNode):
             return
         pending = sorted(u for u, p in self._service.items() if not p.empty)
         if not pending:
+            for u, p in self._service.items():
+                if p.empty:
+                    self.trace.span_end(self.sim.now, "span_serve",
+                                        self.node_id, key=u, unit=u)
             self._service = {u: p for u, p in self._service.items() if not p.empty}
             if not self.complete:
                 self._maybe_schedule_request()
@@ -724,6 +744,8 @@ class DisseminationNode(NetworkNode):
         index = policy.next_packet()
         if index is None:
             self._service.pop(unit, None)
+            self.trace.span_end(self.sim.now, "span_serve", self.node_id,
+                                key=unit, unit=unit)
             self._tx_timer.start(0.0)
             return
         frame_size = self._transmit_unit_packet(unit, index)

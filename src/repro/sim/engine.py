@@ -8,11 +8,26 @@ scheduling order, which keeps runs deterministic for a fixed seed.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Protocol, Tuple
 
 from repro.errors import SimulationError
 
-__all__ = ["Event", "Simulator"]
+__all__ = ["Event", "SimProfiler", "Simulator"]
+
+
+class SimProfiler(Protocol):
+    """What the engine needs from a profiler (see ``repro.obs.profile``).
+
+    Defined structurally so the engine never imports the observability
+    package: any object with a monotonic ``clock`` and a ``record`` hook
+    works.  With no profiler installed the run loop pays exactly one
+    ``is None`` check per event — the zero-overhead-when-disabled contract.
+    """
+
+    def clock(self) -> float: ...
+
+    def record(self, fn: Callable[..., Any], elapsed: float,
+               heap_len: int) -> None: ...
 
 
 class Event:
@@ -82,6 +97,8 @@ class Simulator:
         self._processed: int = 0
         self._live: int = 0        # queued, not-yet-cancelled events
         self._cancelled: int = 0   # lazy-deletion garbage still in the heap
+        self._compactions: int = 0
+        self._profiler: Optional[SimProfiler] = None
 
     @property
     def now(self) -> float:
@@ -98,6 +115,25 @@ class Simulator:
         """Number of queued, not-yet-cancelled events (O(1))."""
         return self._live
 
+    def set_profiler(self, profiler: Optional[SimProfiler]) -> None:
+        """Install (or with None, remove) a per-event profiling hook.
+
+        The profiler's ``clock`` brackets each handler call and ``record``
+        receives the handler, its elapsed wall time, and the heap length.
+        Wall time is measurement *about* the simulation, never an input to
+        it — simulated time stays exclusively on :attr:`now`.
+        """
+        self._profiler = profiler
+
+    def heap_stats(self) -> Dict[str, int]:
+        """Occupancy and compaction statistics for the event heap."""
+        return {
+            "pending": self._live,
+            "heap_len": len(self._queue),
+            "cancelled_garbage": self._cancelled,
+            "compactions": self._compactions,
+        }
+
     def _note_cancelled(self) -> None:
         self._live -= 1
         self._cancelled += 1
@@ -111,6 +147,7 @@ class Simulator:
         self._queue = [e for e in self._queue if not e.cancelled]
         heapq.heapify(self._queue)
         self._cancelled = 0
+        self._compactions += 1
 
     def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
@@ -141,6 +178,7 @@ class Simulator:
             raise SimulationError("Simulator.run() is not reentrant")
         self._running = True
         executed = 0
+        profiler = self._profiler
         try:
             while self._queue:
                 event = self._queue[0]
@@ -156,7 +194,14 @@ class Simulator:
                 self._live -= 1
                 event._sim = None  # late cancel() must not double-count
                 self._now = event.time
-                event.fn(*event.args)
+                if profiler is None:
+                    event.fn(*event.args)
+                else:
+                    start = profiler.clock()
+                    event.fn(*event.args)
+                    profiler.record(
+                        event.fn, profiler.clock() - start, len(self._queue)
+                    )
                 executed += 1
                 self._processed += 1
         finally:

@@ -3,15 +3,48 @@
 Protocols report what happened through a :class:`TraceRecorder`; experiment
 code reads the counters afterwards.  Recording full trace entries is optional
 (and off by default) because large runs only need the counters.
+
+The recorder is a thin façade over a typed :class:`~repro.obs.registry.
+MetricsRegistry`: :attr:`TraceRecorder.counters` *is* the registry's counter
+store, so the hot path stays a single dict update while every counter name
+can be resolved to its declared spec (kind, unit, help) for reports.  Two
+optional extensions hang off it:
+
+* ``max_records`` bounds the in-memory record list as a ring buffer —
+  evictions are counted under ``trace_dropped`` so silent loss is visible.
+* ``sink`` mirrors records into a structured event log
+  (:class:`repro.obs.events.EventLog`-shaped) and enables
+  :meth:`span_begin`/:meth:`span_end` for packet/page lifecycle spans; with
+  no sink both span calls are near-free no-ops.
 """
 
 from __future__ import annotations
 
-from collections import Counter
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, List, Optional, Protocol, Tuple, Union
 
-__all__ = ["TraceRecord", "TraceRecorder"]
+from repro.obs.registry import MetricsRegistry
+
+__all__ = ["TraceRecord", "TraceRecorder", "TraceSink"]
+
+
+class TraceSink(Protocol):
+    """Structural interface a structured-event sink must provide.
+
+    :class:`repro.obs.events.EventLog` satisfies this; the recorder only
+    depends on the shape so the strict-typed ``repro.sim`` surface does not
+    import the (heavier) events module.
+    """
+
+    def instant(self, ts: float, kind: str, node: Optional[int] = None,
+                detail: Optional[Dict[str, Any]] = None) -> None: ...
+
+    def begin(self, ts: float, kind: str, node: Optional[int] = None,
+              key: Any = None, detail: Optional[Dict[str, Any]] = None) -> None: ...
+
+    def end(self, ts: float, kind: str, node: Optional[int] = None,
+            key: Any = None, detail: Optional[Dict[str, Any]] = None) -> None: ...
 
 
 @dataclass(frozen=True)
@@ -33,10 +66,29 @@ class TraceRecord:
 class TraceRecorder:
     """Accumulates named counters and (optionally) full trace records."""
 
-    def __init__(self, keep_records: bool = False) -> None:
-        self.counters: Counter = Counter()
-        self.keep_records = keep_records
-        self.records: List[TraceRecord] = []
+    def __init__(
+        self,
+        keep_records: bool = False,
+        max_records: Optional[int] = None,
+        sink: Optional[TraceSink] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if max_records is not None and max_records < 1:
+            raise ValueError(f"max_records must be >= 1, got {max_records}")
+        self.registry: MetricsRegistry = (
+            registry if registry is not None else MetricsRegistry()
+        )
+        # Alias, not copy: incrementing through either view hits the same
+        # Counter object, keeping the hot path a single dict update.
+        self.counters = self.registry.counters
+        self.keep_records = keep_records or max_records is not None
+        self.max_records = max_records
+        # Unbounded stays a plain list (the established API: tests and
+        # callers compare against []); bounded uses a deque ring buffer.
+        self.records: Union[List[TraceRecord], Deque[TraceRecord]] = (
+            [] if max_records is None else deque(maxlen=max_records)
+        )
+        self.sink = sink
         self._marks: Dict[str, float] = {}
 
     def count(self, name: str, amount: int = 1) -> None:
@@ -47,9 +99,34 @@ class TraceRecorder:
         """Count ``kind`` and, when enabled, store a full trace record."""
         self.counters[kind] += 1
         if self.keep_records:
+            if (
+                self.max_records is not None
+                and len(self.records) >= self.max_records
+            ):
+                # deque(maxlen) evicts the oldest on append; make the loss
+                # visible instead of silent.
+                self.counters["trace_dropped"] += 1
             self.records.append(
                 TraceRecord(time, kind, node, tuple(sorted(detail.items())))
             )
+        if self.sink is not None:
+            self.sink.instant(time, kind, node, dict(detail) if detail else None)
+
+    # -- lifecycle spans (structured sink only) --------------------------------
+
+    def span_begin(self, time: float, kind: str, node: Optional[int] = None,
+                   key: Any = None, **detail: Any) -> None:
+        """Open a lifecycle span in the structured sink (no-op without one)."""
+        if self.sink is not None:
+            self.sink.begin(time, kind, node, key, dict(detail) if detail else None)
+
+    def span_end(self, time: float, kind: str, node: Optional[int] = None,
+                 key: Any = None, **detail: Any) -> None:
+        """Close a lifecycle span; counts one completion of ``kind``."""
+        if self.sink is None:
+            return
+        self.counters[kind] += 1
+        self.sink.end(time, kind, node, key, dict(detail) if detail else None)
 
     def mark(self, name: str, time: float) -> None:
         """Remember a named timestamp (first write wins)."""

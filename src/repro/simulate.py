@@ -21,6 +21,16 @@ nodes resume from their last completed page after reboot::
         --mtbf 30 --mttr 10
     python -m repro.simulate --protocol seluge --image-kib 4 --k 8 --n 12 \\
         --fault-plan plan.json
+
+Observability (``--profile``, ``--trace-out``, ``--chrome-trace``,
+``--manifest``) attaches the event-loop profiler and/or a structured event
+log to the same run — packet/page lifecycle spans land in a JSONL trace
+(and, with ``--chrome-trace``, a Perfetto/chrome://tracing timeline), and
+the run manifest records seed, config, git revision, counters, and wall
+timings for later diffing with ``python -m repro.obs report --diff``::
+
+    python -m repro.simulate --protocol lr-seluge --image-kib 4 --k 8 --n 12 \\
+        --profile --trace-out run.trace.jsonl --manifest run.manifest.json
 """
 
 from __future__ import annotations
@@ -30,6 +40,7 @@ import sys
 
 from repro.core.image import CodeImage
 from repro.experiments.energy import estimate_energy
+from repro.experiments.reporting import stopwatch
 from repro.experiments.runner import CompletionTracker, run_network
 from repro.experiments.scenarios import (
     FaultyGridScenario,
@@ -90,14 +101,23 @@ def _build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--churn-horizon", type=float, default=None,
                         help="stop generating stochastic faults after this "
                              "time (default: max-time / 2)")
+    obs = parser.add_argument_group("observability")
+    obs.add_argument("--profile", action="store_true",
+                     help="attach the event-loop profiler and print the "
+                          "per-handler wall-time table")
+    obs.add_argument("--trace-out", default=None, metavar="TRACE.jsonl",
+                     help="write the structured event trace (JSONL)")
+    obs.add_argument("--chrome-trace", default=None, metavar="TRACE.json",
+                     help="write a Chrome trace_event/Perfetto timeline")
+    obs.add_argument("--manifest", default=None, metavar="MANIFEST.json",
+                     help="write a run manifest (seed, config, git rev, "
+                          "counters, timings)")
     return parser
 
 
-def _run_from_file(args):
+def _run_from_file(args, sim: Simulator, trace: TraceRecorder):
     topo = load_topology(args.topology_file)
     rngs = RngRegistry(args.seed)
-    sim = Simulator()
-    trace = TraceRecorder()
     loss = CompositeLoss(
         PerLinkLoss(topo.link_loss),
         GilbertElliottLoss(loss_good=0.05, loss_bad=0.5, mean_good=6.0, mean_bad=2.0),
@@ -116,7 +136,7 @@ def _run_from_file(args):
     return result, [n.pipeline for n in nodes], len(nodes) + 1
 
 
-def _run_faulty(args):
+def _run_faulty(args, sim: Simulator, trace: TraceRecorder):
     plan = (
         FaultPlan.from_json_file(args.fault_plan) if args.fault_plan else None
     )
@@ -129,36 +149,73 @@ def _run_faulty(args):
         plan=plan, mtbf=args.mtbf, mttr=args.mttr,
         link_flap=args.link_flap, churn_horizon=args.churn_horizon,
     )
-    return run_faulty_grid(scenario)
+    return run_faulty_grid(scenario, trace=trace, sim=sim)
+
+
+def _config_dict(args) -> dict:
+    """The manifest's record of what was asked for on the command line."""
+    config = {
+        "protocol": args.protocol,
+        "image_kib": args.image_kib,
+        "k": args.k, "n": args.n, "kprime": args.kprime,
+        "max_time": args.max_time,
+    }
+    if args.topology_file:
+        config["topology_file"] = args.topology_file
+    elif args.topology:
+        config["topology"] = args.topology
+    else:
+        config["loss"] = args.loss
+        config["receivers"] = args.receivers
+    for name in ("fault_plan", "mtbf", "link_flap"):
+        value = getattr(args, name)
+        if value:
+            config[name] = value
+    return config
 
 
 def main(argv=None) -> int:
     args = _build_parser().parse_args(argv)
     faulty = bool(args.fault_plan or args.mtbf is not None or args.link_flap)
     pipelines = None
-    if faulty:
-        if args.topology_file:
-            raise SystemExit("fault injection needs --topology, "
-                             "not --topology-file")
-        result = _run_faulty(args)
-        n_nodes = (result.n_nodes or 0) + 1
-    elif args.topology_file:
-        result, pipelines, n_nodes = _run_from_file(args)
-    elif args.topology:
-        result = run_multihop(MultiHopScenario(
-            protocol=args.protocol, topology=args.topology,
-            image_size=args.image_kib * 1024, k=args.k, n=args.n,
-            kprime=args.kprime, seed=args.seed, max_time=args.max_time,
-        ))
-        n_nodes = len(result.per_node_completion) + 1
-    else:
-        result = run_one_hop(OneHopScenario(
-            protocol=args.protocol, loss_rate=args.loss,
-            receivers=args.receivers, image_size=args.image_kib * 1024,
-            k=args.k, n=args.n, kprime=args.kprime, seed=args.seed,
-            max_time=args.max_time,
-        ))
-        n_nodes = args.receivers + 1
+
+    sim = Simulator()
+    log = None
+    if args.trace_out or args.chrome_trace:
+        from repro.obs.events import EventLog
+        log = EventLog()
+    trace = TraceRecorder(sink=log)
+    profiler = None
+    if args.profile:
+        from repro.obs.profile import LoopProfiler
+        profiler = LoopProfiler()
+        sim.set_profiler(profiler)
+
+    with stopwatch() as elapsed:
+        if faulty:
+            if args.topology_file:
+                raise SystemExit("fault injection needs --topology, "
+                                 "not --topology-file")
+            result = _run_faulty(args, sim, trace)
+            n_nodes = (result.n_nodes or 0) + 1
+        elif args.topology_file:
+            result, pipelines, n_nodes = _run_from_file(args, sim, trace)
+        elif args.topology:
+            result = run_multihop(MultiHopScenario(
+                protocol=args.protocol, topology=args.topology,
+                image_size=args.image_kib * 1024, k=args.k, n=args.n,
+                kprime=args.kprime, seed=args.seed, max_time=args.max_time,
+            ), sim=sim, trace=trace)
+            n_nodes = len(result.per_node_completion) + 1
+        else:
+            result = run_one_hop(OneHopScenario(
+                protocol=args.protocol, loss_rate=args.loss,
+                receivers=args.receivers, image_size=args.image_kib * 1024,
+                k=args.k, n=args.n, kprime=args.kprime, seed=args.seed,
+                max_time=args.max_time,
+            ), sim=sim, trace=trace)
+            n_nodes = args.receivers + 1
+    wall_s = elapsed()
 
     print(f"protocol:        {result.protocol}")
     print(f"completed:       {result.completed}")
@@ -179,6 +236,31 @@ def main(argv=None) -> int:
         print("energy (network-wide):")
         for key, value in report.breakdown().items():
             print(f"  {key:10s} {value:.1f}")
+
+    if log is not None:
+        log.flush_open_spans(sim.now)
+        if args.trace_out:
+            log.write_jsonl(args.trace_out)
+            print(f"wrote trace:     {args.trace_out} ({len(log)} events)")
+        if args.chrome_trace:
+            log.write_chrome_trace(args.chrome_trace)
+            print(f"wrote timeline:  {args.chrome_trace}")
+    if profiler is not None:
+        print(profiler.report())
+    if args.manifest:
+        from repro.obs.manifest import RunManifest
+        profile_summary = (
+            profiler.summary(heap_stats=sim.heap_stats())
+            if profiler is not None else None
+        )
+        manifest = RunManifest.from_run(
+            "repro.simulate", result, config=_config_dict(args),
+            wall_s=wall_s, sim=sim, profile=profile_summary,
+            trace_file=args.trace_out,
+            unregistered=trace.registry.unregistered_names(),
+        )
+        manifest.write(args.manifest)
+        print(f"wrote manifest:  {args.manifest}")
     return 0 if result.completed else 1
 
 

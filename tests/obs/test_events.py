@@ -1,0 +1,164 @@
+"""Structured event log: spans, JSONL round trips, Chrome trace export."""
+
+import json
+
+import pytest
+
+from repro.obs.events import (
+    TRACE_SCHEMA_VERSION,
+    EventLog,
+    TraceEvent,
+    load_jsonl,
+)
+
+
+def test_instant_events_append():
+    log = EventLog()
+    log.instant(1.0, "tx_data", node=3, detail={"unit": 0})
+    log.instant(2.0, "rx_lost")
+    assert len(log) == 2
+    first = log.events[0]
+    assert first.ph == "i"
+    assert first.node == 3
+    assert first.detail == {"unit": 0}
+    assert log.events[1].node is None
+
+
+def test_span_begin_end_emits_one_complete_event():
+    log = EventLog()
+    log.begin(1.0, "span_page", node=2, key=0, detail={"unit": 0})
+    log.end(3.5, "span_page", node=2, key=0, detail={"ok": True})
+    assert len(log) == 1
+    span = log.events[0]
+    assert span.ph == "X"
+    assert span.ts == 1.0
+    assert span.dur == 2.5
+    assert span.detail == {"unit": 0, "ok": True}  # begin+end detail merged
+
+
+def test_duplicate_begin_restarts_the_span():
+    log = EventLog()
+    log.begin(1.0, "span_page", node=2, key=0)
+    log.begin(4.0, "span_page", node=2, key=0)  # e.g. assembly restarted
+    log.end(5.0, "span_page", node=2, key=0)
+    assert [e.ts for e in log.events] == [4.0]
+    assert log.events[0].dur == 1.0
+
+
+def test_unmatched_end_degrades_to_instant():
+    log = EventLog()
+    log.end(2.0, "span_page", node=1, key=7)
+    assert len(log) == 1
+    assert log.events[0].ph == "i"
+
+
+def test_spans_are_keyed_by_kind_node_and_key():
+    log = EventLog()
+    log.begin(1.0, "span_page", node=1, key=0)
+    log.begin(2.0, "span_page", node=2, key=0)   # other node: distinct span
+    log.end(3.0, "span_page", node=2, key=0)
+    assert len(log.spans("span_page")) == 1
+    assert log.spans("span_page")[0].node == 2
+    assert log.flush_open_spans(9.0) == 1        # node 1's span still open
+
+
+def test_flush_open_spans_marks_and_clears():
+    log = EventLog()
+    log.begin(1.0, "span_disseminate", node=4)
+    log.begin(2.0, "span_page", node=4, key=0)
+    flushed = log.flush_open_spans(10.0)
+    assert flushed == 2
+    opens = [e for e in log.events if e.detail.get("open")]
+    assert len(opens) == 2
+    assert all(e.ph == "X" for e in opens)
+    assert [e.ts for e in opens] == [1.0, 2.0]   # flushed in start order
+    assert log.flush_open_spans(11.0) == 0       # nothing left
+
+
+def test_max_events_bounds_the_log_and_counts_drops():
+    log = EventLog(max_events=3)
+    for i in range(5):
+        log.instant(float(i), "tx_data")
+    assert len(log) == 3
+    assert log.dropped == 2
+    assert [e.ts for e in log.events] == [0.0, 1.0, 2.0]  # oldest kept
+    assert log.header()["dropped"] == 2
+
+
+def test_jsonl_round_trip(tmp_path):
+    log = EventLog()
+    log.instant(1.0, "tx_data", node=1, detail={"unit": 2})
+    log.begin(2.0, "span_page", node=1, key=0)
+    log.end(4.0, "span_page", node=1, key=0)
+    path = tmp_path / "run.trace.jsonl"
+    log.write_jsonl(path)
+    header, events = load_jsonl(path)
+    assert header["schema_version"] == TRACE_SCHEMA_VERSION
+    assert header["events"] == 2
+    assert events == list(log.events)
+
+
+def test_load_jsonl_rejects_bad_headers(tmp_path):
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    with pytest.raises(ValueError, match="empty"):
+        load_jsonl(empty)
+
+    headerless = tmp_path / "headerless.jsonl"
+    headerless.write_text('{"ts": 1.0, "kind": "tx_data"}\n')
+    with pytest.raises(ValueError, match="not a trace header"):
+        load_jsonl(headerless)
+
+    future = tmp_path / "future.jsonl"
+    future.write_text(json.dumps({
+        "type": "header", "schema_version": TRACE_SCHEMA_VERSION + 1,
+        "events": 0, "dropped": 0,
+    }) + "\n")
+    with pytest.raises(ValueError, match="unsupported trace schema"):
+        load_jsonl(future)
+
+
+def test_trace_event_dict_round_trip():
+    event = TraceEvent(ts=1.5, kind="span_page", ph="X", node=3, dur=2.0,
+                       detail={"unit": 1})
+    assert TraceEvent.from_dict(event.to_dict()) == event
+    sparse = TraceEvent(ts=0.0, kind="tx_adv")
+    data = sparse.to_dict()
+    assert "node" not in data and "dur" not in data and "detail" not in data
+    assert TraceEvent.from_dict(data) == sparse
+
+
+def test_chrome_trace_structure():
+    log = EventLog()
+    log.instant(1.0, "tx_data", node=0)
+    log.begin(2.0, "span_page", node=2, key=0)
+    log.end(3.0, "span_page", node=2, key=0)
+    log.instant(4.0, "fault_partition")  # network-wide, no node
+    doc = log.to_chrome_trace(process_name="test-sim")
+    events = doc["traceEvents"]
+    meta = [e for e in events if e["ph"] == "M"]
+    # process name + network thread + one thread per named node (0 and 2).
+    names = {e["args"]["name"] for e in meta}
+    assert {"test-sim", "network", "node 0", "node 2"} <= names
+    instants = [e for e in events if e["ph"] == "i"]
+    assert all(e["s"] == "t" for e in instants)
+    span = next(e for e in events if e["ph"] == "X")
+    assert span["tid"] == 3            # node 2 -> track 3 (0 is the network)
+    assert span["ts"] == 2.0 * 1e6     # microseconds
+    assert span["dur"] == 1.0 * 1e6
+    assert span["cat"] == "span"
+    network = next(e for e in events if e["ph"] == "i"
+                   and e["name"] == "fault_partition")
+    assert network["tid"] == 0
+    assert doc["otherData"]["schema_version"] == TRACE_SCHEMA_VERSION
+
+
+def test_of_kind_and_spans_queries():
+    log = EventLog()
+    log.instant(1.0, "tx_data")
+    log.instant(2.0, "tx_adv")
+    log.begin(1.0, "span_page", key=0)
+    log.end(2.0, "span_page", key=0)
+    assert [e.kind for e in log.of_kind("tx_data")] == ["tx_data"]
+    assert len(log.spans()) == 1
+    assert log.spans("span_disseminate") == []

@@ -1,0 +1,106 @@
+"""Report renderings and the CI perf-smoke entry point."""
+
+import json
+
+from repro.obs.events import EventLog
+from repro.obs.manifest import RunManifest
+from repro.obs.report import (
+    diff_report,
+    manifest_summary,
+    run_perf_smoke,
+    trace_summary,
+)
+
+
+def _manifest(**overrides):
+    base = dict(
+        tool="test.tool",
+        seed=3,
+        config={"protocol": "lr-seluge", "k": 8},
+        metrics={"latency_s": 40.0, "completed": 1.0},
+        timings={"wall_s": 0.25},
+        counters={"tx_data": 120, "mystery_counter": 2},
+    )
+    base.update(overrides)
+    return RunManifest(**base)
+
+
+def test_manifest_summary_annotates_counters_from_the_catalogue():
+    text = manifest_summary(_manifest())
+    assert "tool:        test.tool" in text
+    assert "protocol=lr-seluge" in text
+    assert "latency_s=40" in text
+    # Known counters carry unit + help; orphans are called out.
+    assert "data packets transmitted" in text
+    assert "(not in catalogue)" in text
+
+
+def test_manifest_summary_includes_profile_table():
+    profile = {"handlers": [{"name": "radio.Radio._finish", "calls": 10,
+                             "total_s": 0.01, "mean_us": 1000.0,
+                             "max_us": 2000.0}]}
+    text = manifest_summary(_manifest(profile=profile))
+    assert "event-loop profile" in text
+    assert "radio.Radio._finish" in text
+
+
+def test_diff_report_no_differences():
+    text = diff_report(_manifest(), _manifest(), "base", "cand")
+    assert "no differences" in text
+    assert "base: test.tool" in text
+
+
+def test_diff_report_renders_deltas():
+    a = _manifest()
+    b = _manifest(counters={"tx_data": 100, "mystery_counter": 2})
+    text = diff_report(a, b)
+    assert "1 differing quantities" in text
+    assert "counters.tx_data" in text
+    assert "-20" in text
+
+
+def test_trace_summary_counts_kinds_and_spans(tmp_path):
+    log = EventLog()
+    log.instant(1.0, "tx_data", node=1)
+    log.instant(2.0, "tx_data", node=2)
+    log.begin(0.0, "span_page", node=1, key=0)
+    log.end(4.0, "span_page", node=1, key=0)
+    path = tmp_path / "run.trace.jsonl"
+    log.write_jsonl(path)
+    text = trace_summary(path)
+    assert "3 events" in text
+    assert "tx_data" in text
+    assert "span_page" in text
+    assert "4.0" in text  # the span's mean duration
+
+
+def test_run_perf_smoke_writes_all_artifacts(tmp_path):
+    bench_path = tmp_path / "BENCH_sim_core.json"
+    manifest_path = tmp_path / "perf.manifest.json"
+    trace_path = tmp_path / "perf.trace.jsonl"
+    chrome_path = tmp_path / "perf.chrome.json"
+    bench, report = run_perf_smoke(
+        bench_path, manifest_out=manifest_path, trace_out=trace_path,
+        chrome_out=chrome_path, seed=1, receivers=2, image_kib=4,
+    )
+    assert bench["name"] == "sim_core_perf_smoke"
+    assert bench["completed"] is True
+    assert bench["events"] > 0
+    assert bench["events_per_s"] > 0
+    assert len(bench["top_handlers"]) >= 1
+    assert "event-loop profile" in report
+
+    written = json.loads(bench_path.read_text())
+    assert written["config"]["receivers"] == 2
+
+    manifest = RunManifest.load(manifest_path)
+    assert manifest.tool == "repro.obs.perf-smoke"
+    assert manifest.metrics["completed"] == 1.0
+    assert manifest.profile is not None
+    assert manifest.trace_file == str(trace_path)
+
+    from repro.obs.events import load_jsonl
+    header, events = load_jsonl(trace_path)
+    assert header["events"] == len(events) > 0
+    chrome = json.loads(chrome_path.read_text())
+    assert any(e["ph"] == "X" for e in chrome["traceEvents"])

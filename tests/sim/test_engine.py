@@ -167,6 +167,76 @@ def test_cancel_after_execution_does_not_corrupt_count(sim):
     assert sim.pending_events == 0
 
 
+class CountingProfiler:
+    """Minimal SimProfiler: a deterministic clock and a call log."""
+
+    def __init__(self):
+        self.ticks = 0
+        self.records = []
+
+    def clock(self):
+        self.ticks += 1
+        return float(self.ticks)
+
+    def record(self, fn, elapsed, heap_len):
+        self.records.append((fn, elapsed, heap_len))
+
+
+def test_profiler_hook_sees_every_executed_event(sim):
+    profiler = CountingProfiler()
+    sim.set_profiler(profiler)
+    seen = []
+    append = seen.append
+    sim.schedule(1.0, append, "a")
+    cancelled = sim.schedule(2.0, append, "never")
+    cancelled.cancel()
+    sim.schedule(3.0, append, "b")
+    sim.run()
+    assert seen == ["a", "b"]
+    # Exactly one record per *executed* event; cancelled events cost nothing.
+    assert len(profiler.records) == 2
+    assert profiler.ticks == 4  # clock read before and after each handler
+    for fn, elapsed, heap_len in profiler.records:
+        assert fn is append
+        assert elapsed == 1.0  # deterministic clock: end - start
+        assert heap_len >= 0
+
+
+def test_profiler_can_be_detached(sim):
+    profiler = CountingProfiler()
+    sim.set_profiler(profiler)
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert len(profiler.records) == 1
+    sim.set_profiler(None)
+    sim.schedule(2.0, lambda: None)
+    sim.run()
+    assert len(profiler.records) == 1  # no longer observed
+
+
+def test_heap_stats_reports_queue_shape(sim):
+    stats = sim.heap_stats()
+    assert stats == {"pending": 0, "heap_len": 0, "cancelled_garbage": 0,
+                     "compactions": 0}
+    events = [sim.schedule(1.0 + i, lambda: None) for i in range(10)]
+    events[0].cancel()
+    stats = sim.heap_stats()
+    assert stats["pending"] == 9
+    assert stats["heap_len"] == 10       # tombstone still queued
+    assert stats["cancelled_garbage"] == 1
+    sim.run()
+    assert sim.heap_stats()["pending"] == 0
+
+
+def test_heap_stats_counts_compactions(sim):
+    events = [sim.schedule(10.0 + i, lambda: None) for i in range(100)]
+    for ev in events[:80]:
+        ev.cancel()
+    stats = sim.heap_stats()
+    assert stats["compactions"] >= 1
+    assert stats["heap_len"] < 100
+
+
 def test_cancel_inside_handler_of_same_timestamp(sim):
     """An event may cancel a sibling scheduled for the same instant."""
     fired = []

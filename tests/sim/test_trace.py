@@ -1,5 +1,7 @@
 """Unit tests for the trace recorder."""
 
+import pytest
+
 from repro.sim.trace import TraceRecorder
 
 
@@ -45,3 +47,86 @@ def test_marks_first_write_wins():
     t.mark("done", 9.0)
     assert t.get_mark("done") == 5.0
     assert t.get_mark("other") is None
+
+
+def test_unbounded_records_stay_a_plain_list():
+    t = TraceRecorder(keep_records=True)
+    assert isinstance(t.records, list)
+    t.record(1.0, "rx")
+    assert t.counters.get("trace_dropped", 0) == 0
+
+
+def test_max_records_ring_buffer_evicts_oldest_and_counts_drops():
+    t = TraceRecorder(max_records=3)
+    assert t.keep_records  # a bound implies recording
+    for i in range(5):
+        t.record(float(i), "rx", node=i)
+    assert len(t.records) == 3
+    assert [r.node for r in t.records] == [2, 3, 4]  # oldest two evicted
+    assert t.counters["trace_dropped"] == 2
+    assert t.counters["rx"] == 5  # counters never drop
+
+
+def test_max_records_must_be_positive():
+    with pytest.raises(ValueError):
+        TraceRecorder(max_records=0)
+    with pytest.raises(ValueError):
+        TraceRecorder(max_records=-5)
+
+
+def test_recorder_is_a_facade_over_the_registry():
+    t = TraceRecorder()
+    assert t.counters is t.registry.counters
+    t.count("tx_data", 3)
+    assert t.registry.snapshot() == {"tx_data": 3}
+    t.registry.inc("tx_data")
+    assert t.counters["tx_data"] == 4
+
+
+class RecordingSink:
+    """Captures the TraceSink calls the recorder forwards."""
+
+    def __init__(self):
+        self.calls = []
+
+    def instant(self, ts, kind, node=None, detail=None):
+        self.calls.append(("instant", ts, kind, node, detail))
+
+    def begin(self, ts, kind, node=None, key=None, detail=None):
+        self.calls.append(("begin", ts, kind, node, key, detail))
+
+    def end(self, ts, kind, node=None, key=None, detail=None):
+        self.calls.append(("end", ts, kind, node, key, detail))
+
+
+def test_record_forwards_instants_to_the_sink():
+    sink = RecordingSink()
+    t = TraceRecorder(sink=sink)
+    t.record(1.0, "rx", node=3, unit=2)
+    t.record(2.0, "tx")
+    assert sink.calls == [
+        ("instant", 1.0, "rx", 3, {"unit": 2}),
+        ("instant", 2.0, "tx", None, None),
+    ]
+    assert t.counters["rx"] == 1  # counting still happens
+
+
+def test_spans_forward_to_the_sink_and_count_completions():
+    sink = RecordingSink()
+    t = TraceRecorder(sink=sink)
+    t.span_begin(1.0, "span_page", node=2, key=0, unit=0)
+    assert t.counters.get("span_page", 0) == 0  # begins are not completions
+    t.span_end(3.0, "span_page", node=2, key=0)
+    assert t.counters["span_page"] == 1
+    assert sink.calls == [
+        ("begin", 1.0, "span_page", 2, 0, {"unit": 0}),
+        ("end", 3.0, "span_page", 2, 0, None),
+    ]
+
+
+def test_spans_without_a_sink_are_no_ops():
+    t = TraceRecorder()
+    t.span_begin(1.0, "span_page", node=2, key=0)
+    t.span_end(3.0, "span_page", node=2, key=0)
+    assert t.counters.get("span_page", 0) == 0
+    assert t.records == []

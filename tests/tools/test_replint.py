@@ -161,6 +161,19 @@ def test_rep002_allows_the_reporting_shim():
     assert codes(findings) == []
 
 
+def test_rep002_allows_the_profiler():
+    findings = run(
+        """
+        import time
+
+        def clock():
+            return time.perf_counter()
+        """,
+        relpath="src/repro/obs/profile.py",
+    )
+    assert codes(findings) == []
+
+
 # ---------------------------------------------------------------------------
 # REP003 — unordered-iteration
 # ---------------------------------------------------------------------------
@@ -490,6 +503,121 @@ def test_rep010_allows_config_and_cli_shims():
             relpath=relpath,
         )
         assert codes(findings) == []
+
+
+# ---------------------------------------------------------------------------
+# REP011 — unknown-metric
+# ---------------------------------------------------------------------------
+
+CATALOG_SNIPPET = """
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    name: str
+    kind: str = "counter"
+    unit: str = ""
+    help: str = ""
+
+
+METRICS: Tuple[MetricSpec, ...] = (
+    MetricSpec("tx_data", "counter", "packets", "data packets"),
+    MetricSpec("span_page", "event", "spans", "page assembly"),
+)
+
+DYNAMIC_METRIC_PREFIXES: Tuple[str, ...] = (
+    "tx_data_unit_",
+)
+"""
+
+
+def vocab():
+    from replint.rules import load_vocabulary
+
+    return load_vocabulary(textwrap.dedent(CATALOG_SNIPPET))
+
+
+def run_with_vocab(source: str, relpath: str = SRC):
+    return analyze_source(textwrap.dedent(source), relpath, vocabulary=vocab())
+
+
+def test_load_vocabulary_reads_specs_and_annotated_prefixes():
+    v = vocab()
+    assert v.names == frozenset({"tx_data", "span_page"})
+    assert v.prefixes == ("tx_data_unit_",)
+    assert v.known("tx_data")
+    assert v.known("tx_data_unit_7")
+    assert not v.known("txdata")
+
+
+def test_load_vocabulary_handles_plain_assignments():
+    from replint.rules import load_vocabulary
+
+    v = load_vocabulary(
+        'DYNAMIC_METRIC_PREFIXES = ("rx_page_",)\n'
+    )
+    assert v.prefixes == ("rx_page_",)
+
+
+def test_rep011_flags_typo_kinds():
+    findings = run_with_vocab(
+        """
+        def on_data(self, pkt):
+            self.trace.count("txdata")
+            self.trace.record(self.now, "tx_datas", node=1)
+        """
+    )
+    assert codes(findings).count("REP011") == 2
+
+
+def test_rep011_checks_span_calls():
+    findings = run_with_vocab(
+        """
+        def on_data(trace, now):
+            trace.span_begin(now, "span_pgae", node=1, key=0)
+            trace.span_end(now, kind="span_pgae", node=1, key=0)
+        """
+    )
+    assert codes(findings).count("REP011") == 2
+
+
+def test_rep011_allows_declared_names_and_dynamic_families():
+    findings = run_with_vocab(
+        """
+        def on_data(self, pkt, unit):
+            self.trace.count("tx_data")
+            self.trace.count("tx_data_unit_3")
+            self.trace.count(f"tx_data_unit_{unit}")  # non-literal: skipped
+            self.trace.record(self.now, "span_page", node=1)
+        """
+    )
+    assert codes(findings) == []
+
+
+def test_rep011_skips_tests_catalog_and_foreign_receivers():
+    source = """
+        def helper(log, trace):
+            trace.count("txdata")
+            log.count("txdata")  # not a trace recorder: out of scope
+    """
+    assert codes(run_with_vocab(source, relpath="tests/test_mod.py")) == []
+    assert codes(
+        run_with_vocab(source, relpath="src/repro/obs/catalog.py")
+    ) == []
+    in_src = run_with_vocab(source)
+    assert codes(in_src).count("REP011") == 1  # only the trace.* call
+
+
+def test_rep011_is_inert_without_a_vocabulary():
+    findings = run(
+        """
+        def on_data(trace):
+            trace.count("txdata")
+        """
+    )
+    assert codes(findings) == []
 
 
 # ---------------------------------------------------------------------------

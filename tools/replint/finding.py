@@ -193,6 +193,20 @@ RULES: Tuple[Rule, ...] = (
             "explicit config objects."
         ),
     ),
+    Rule(
+        code="REP011",
+        name="unknown-metric",
+        severity=Severity.ERROR,
+        summary="trace.count()/record() kinds must come from the metric catalogue",
+        rationale=(
+            "Counter and event names are the repo's measurement vocabulary "
+            "(src/repro/obs/catalog.py): reports attach units and help text "
+            "by name, and manifests are diffed across runs by name. A typo'd "
+            "literal silently creates an orphan counter that no table ever "
+            "shows, so every literal kind passed to trace.count/record/"
+            "span_begin/span_end must be declared in the catalogue first."
+        ),
+    ),
 )
 
 RULES_BY_CODE = {rule.code: rule for rule in RULES}

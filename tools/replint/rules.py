@@ -18,7 +18,56 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from replint.finding import Finding, RULES_BY_CODE, make_finding
 
-__all__ = ["FileContext", "run_rules", "RULE_CHECKS"]
+__all__ = [
+    "FileContext",
+    "MetricVocabulary",
+    "load_vocabulary",
+    "run_rules",
+    "RULE_CHECKS",
+]
+
+
+@dataclass(frozen=True)
+class MetricVocabulary:
+    """The declared metric names from ``src/repro/obs/catalog.py``.
+
+    Loaded *syntactically* (replint never imports analysed code): every
+    string-literal first argument of a ``MetricSpec(...)`` call plus the
+    literal entries of ``DYNAMIC_METRIC_PREFIXES``.
+    """
+
+    names: frozenset
+    prefixes: Tuple[str, ...]
+
+    def known(self, name: str) -> bool:
+        return name in self.names or name.startswith(self.prefixes)
+
+
+def load_vocabulary(catalog_source: str) -> MetricVocabulary:
+    """Extract the metric vocabulary from the catalogue module's source."""
+    tree = ast.parse(catalog_source)
+    names: Set[str] = set()
+    prefixes: List[str] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            callee = _dotted(node.func)
+            if callee is not None and callee.split(".")[-1] == "MetricSpec":
+                if node.args and isinstance(node.args[0], ast.Constant) \
+                        and isinstance(node.args[0].value, str):
+                    names.add(node.args[0].value)
+        elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            named = [t.id for t in targets if isinstance(t, ast.Name)]
+            if "DYNAMIC_METRIC_PREFIXES" in named and isinstance(
+                node.value, (ast.Tuple, ast.List)
+            ):
+                prefixes.extend(
+                    el.value for el in node.value.elts
+                    if isinstance(el, ast.Constant) and isinstance(el.value, str)
+                )
+    return MetricVocabulary(names=frozenset(names), prefixes=tuple(prefixes))
 
 
 @dataclass
@@ -27,6 +76,9 @@ class FileContext:
 
     path: str  # repo-relative posix path, e.g. "src/repro/sim/engine.py"
     lines: Sequence[str]  # raw source lines (1-indexed via line-1)
+    # Metric vocabulary for REP011; None (e.g. in bare analyze_source unit
+    # tests) disables the rule rather than flagging everything.
+    vocabulary: Optional[MetricVocabulary] = None
 
     def source_line(self, lineno: int) -> str:
         if 1 <= lineno <= len(self.lines):
@@ -63,8 +115,14 @@ class FileContext:
 
     @property
     def clock_sanctioned(self) -> bool:
-        """The one module allowed to read the wall clock (stopwatch shim)."""
-        return self.path.endswith("experiments/reporting.py")
+        """Modules allowed to read the wall clock.
+
+        Two, by design: the CLI stopwatch shim and the event-loop profiler
+        (measurement *about* the simulation, never an input to it).
+        """
+        return self.path.endswith(
+            ("experiments/reporting.py", "obs/profile.py")
+        )
 
 
 def _finding(code: str, ctx: FileContext, node: ast.AST, message: str) -> Finding:
@@ -632,6 +690,72 @@ def check_rep010(tree: ast.AST, ctx: FileContext) -> List[Finding]:
     return list(unique.values())
 
 
+# ---------------------------------------------------------------------------
+# REP011 — unknown-metric
+# ---------------------------------------------------------------------------
+
+# TraceRecorder entry points and the position of their kind-string argument.
+_METRIC_METHODS = {"count": 0, "record": 1, "span_begin": 1, "span_end": 1}
+
+_METRIC_KEYWORDS = {"count": "name", "record": "kind",
+                    "span_begin": "kind", "span_end": "kind"}
+
+
+def _metric_kind_arg(node: ast.Call, method: str) -> Optional[ast.expr]:
+    """The kind/name argument of a recorder call, positional or keyword."""
+    pos = _METRIC_METHODS[method]
+    if len(node.args) > pos:
+        return node.args[pos]
+    wanted = _METRIC_KEYWORDS[method]
+    for kw in node.keywords:
+        if kw.arg == wanted:
+            return kw.value
+    return None
+
+
+def check_rep011(tree: ast.AST, ctx: FileContext) -> List[Finding]:
+    """Literal metric kinds must be declared in the central catalogue.
+
+    Detection: calls ``<...>.trace.count/record/span_begin/span_end`` (or on
+    a bare name ``trace``) whose kind argument is a string literal.  Kinds
+    built at runtime (f-strings like ``tx_{kind.value}``) are skipped — the
+    catalogue covers those via declared dynamic prefixes, and the registry's
+    ``unregistered_names()`` reports any that escape.  Without a loaded
+    vocabulary (bare ``analyze_source``) the rule is inert.
+    """
+    vocab = ctx.vocabulary
+    if vocab is None or ctx.in_tests:
+        return []
+    if ctx.path.endswith("obs/catalog.py"):
+        return []
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call) or not isinstance(
+            node.func, ast.Attribute
+        ):
+            continue
+        method = node.func.attr
+        if method not in _METRIC_METHODS:
+            continue
+        receiver = _dotted(node.func.value)
+        if receiver is None or not (
+            receiver == "trace" or receiver.endswith(".trace")
+        ):
+            continue
+        arg = _metric_kind_arg(node, method)
+        if not isinstance(arg, ast.Constant) or not isinstance(arg.value, str):
+            continue
+        if not vocab.known(arg.value):
+            findings.append(_finding(
+                "REP011", ctx, node,
+                f"metric kind {arg.value!r} is not declared in "
+                "src/repro/obs/catalog.py — add a MetricSpec (name, kind, "
+                "unit, help) or fix the typo; orphan counters never reach "
+                "reports",
+            ))
+    return findings
+
+
 RULE_CHECKS: Dict[str, Callable[[ast.AST, FileContext], List[Finding]]] = {
     "REP001": check_rep001,
     "REP002": check_rep002,
@@ -643,6 +767,7 @@ RULE_CHECKS: Dict[str, Callable[[ast.AST, FileContext], List[Finding]]] = {
     "REP008": check_rep008,
     "REP009": check_rep009,
     "REP010": check_rep010,
+    "REP011": check_rep011,
 }
 
 

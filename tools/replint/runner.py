@@ -10,7 +10,7 @@ from typing import List, Optional, Sequence, Set
 from replint.baseline import Baseline
 from replint.finding import Finding, PARSE_ERROR_RULE, make_finding
 from replint.fixes import fix_source
-from replint.rules import FileContext, run_rules
+from replint.rules import FileContext, MetricVocabulary, load_vocabulary, run_rules
 from replint.suppress import collect_suppressions
 
 __all__ = ["AnalysisResult", "analyze_source", "analyze_paths", "iter_python_files"]
@@ -63,8 +63,13 @@ def analyze_source(
     source: str,
     relpath: str,
     select: "Optional[Set[str]]" = None,
+    vocabulary: "Optional[MetricVocabulary]" = None,
 ) -> List[Finding]:
-    """Analyze one module's source text; suppressions applied, no baseline."""
+    """Analyze one module's source text; suppressions applied, no baseline.
+
+    ``vocabulary`` feeds REP011 (unknown-metric); without one the rule is
+    inert, so callers analysing loose snippets are unaffected.
+    """
     try:
         tree = ast.parse(source)
     except SyntaxError as exc:
@@ -72,7 +77,8 @@ def analyze_source(
             PARSE_ERROR_RULE, relpath, exc.lineno or 1, (exc.offset or 1) - 1,
             f"could not parse: {exc.msg}",
         )]
-    ctx = FileContext(path=relpath, lines=source.splitlines())
+    ctx = FileContext(path=relpath, lines=source.splitlines(),
+                      vocabulary=vocabulary)
     findings = run_rules(tree, ctx, select=select)
     suppressions = collect_suppressions(source)
     for finding in findings:
@@ -86,6 +92,17 @@ def _relpath(path: Path, root: Path) -> str:
         return path.resolve().relative_to(root.resolve()).as_posix()
     except ValueError:
         return path.as_posix()
+
+
+def _load_root_vocabulary(root: Path) -> "Optional[MetricVocabulary]":
+    """The repo's metric catalogue, parsed syntactically; None if absent."""
+    catalog = root / "src" / "repro" / "obs" / "catalog.py"
+    if not catalog.is_file():
+        return None
+    try:
+        return load_vocabulary(catalog.read_text(encoding="utf-8"))
+    except (OSError, SyntaxError):
+        return None
 
 
 def analyze_paths(
@@ -102,6 +119,7 @@ def analyze_paths(
     repaired findings included but flagged ``fixed``.
     """
     result = AnalysisResult()
+    vocabulary = _load_root_vocabulary(root)
     fix_rules = (
         FIXABLE_RULES if select is None else (FIXABLE_RULES & select)
     )
@@ -116,7 +134,8 @@ def analyze_paths(
             # file with asserts must never be touched).
             present = {
                 f.rule
-                for f in analyze_source(source, relpath, select=select)
+                for f in analyze_source(source, relpath, select=select,
+                                        vocabulary=vocabulary)
                 if f.rule in fix_rules and not f.suppressed
             }
             if present:
@@ -130,7 +149,8 @@ def analyze_paths(
                     result.files_fixed += 1
                     result.fixes_applied += n_fixed
 
-        findings = analyze_source(source, relpath, select=select)
+        findings = analyze_source(source, relpath, select=select,
+                                  vocabulary=vocabulary)
         for finding in findings:
             if (
                 baseline is not None
