@@ -1,8 +1,11 @@
 """Exception hierarchy for the repro package."""
 
+from typing import Dict, Optional
+
 __all__ = [
     "ReproError",
     "SimulationError",
+    "SimulationRunawayError",
     "CodingError",
     "DecodeError",
     "AuthenticationError",
@@ -17,6 +20,30 @@ class ReproError(Exception):
 
 class SimulationError(ReproError):
     """Misuse of the discrete-event simulator (past scheduling, reentrancy...)."""
+
+
+class SimulationRunawayError(SimulationError):
+    """A watchdog guard tripped: the simulation exceeded its event or time budget.
+
+    Raised by :class:`repro.sim.engine.Simulator` when a livelocked protocol
+    would otherwise run (and hang a campaign worker) forever.  The structured
+    payload — events executed, simulated time, and the event-heap statistics
+    at the moment the guard fired — travels with the exception so supervisors
+    can record *why* a task was killed, not just that it died.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        events: int = 0,
+        sim_time: float = 0.0,
+        heap_stats: Optional[Dict[str, int]] = None,
+    ) -> None:
+        super().__init__(message)
+        self.events = events
+        self.sim_time = sim_time
+        self.heap_stats: Dict[str, int] = dict(heap_stats or {})
 
 
 class CodingError(ReproError):

@@ -10,6 +10,17 @@ Usage::
 ``--quick`` runs scaled-down versions (smaller image, fewer seeds, smaller
 grids) that finish in tens of seconds; full-size runs can take minutes for
 the one-hop figures and longer for the 15x15 grids.
+
+Every target runs as a fault-tolerant campaign (see
+:mod:`repro.experiments.executor`):
+
+* ``--processes N`` runs cells in N supervised worker processes;
+* ``--task-timeout S`` kills and retries cells that exceed S wall seconds;
+* ``--max-retries R`` bounds attempts before a cell is quarantined;
+* ``--checkpoint-dir DIR`` journals completed cells so a killed run can be
+  restarted with ``--resume`` and produce byte-identical output;
+* ``--manifest FILE`` writes a campaign manifest embedding the per-task
+  attempt history.
 """
 
 from __future__ import annotations
@@ -19,57 +30,62 @@ import sys
 
 from repro.experiments import figures, tables
 from repro.experiments.ablations import ablate_burstiness, ablate_overhead, ablate_scheduler
+from repro.experiments.executor import CampaignConfig
 from repro.experiments.reporting import stopwatch
 
 
-def _fig3a(quick: bool):
+def _fig3a(quick, campaign):
     if quick:
         return figures.fig3a(loss_rates=(0.1, 0.2, 0.3, 0.4), receivers=10,
-                             image_size=6 * 1024, seeds=(1,))
-    return figures.fig3a()
+                             image_size=6 * 1024, seeds=(1,), campaign=campaign)
+    return figures.fig3a(campaign=campaign)
 
 
-def _fig3b(quick: bool):
+def _fig3b(quick, campaign):
     if quick:
         return figures.fig3b(receiver_counts=(5, 10, 20, 30), image_size=6 * 1024,
-                             seeds=(1,))
-    return figures.fig3b()
+                             seeds=(1,), campaign=campaign)
+    return figures.fig3b(campaign=campaign)
 
 
-def _fig4(quick: bool):
+def _fig4(quick, campaign):
     if quick:
         return figures.fig4(loss_rates=(0.01, 0.1, 0.3), receivers=10,
-                            image_size=6 * 1024, seeds=(1,))
-    return figures.fig4()
+                            image_size=6 * 1024, seeds=(1,), campaign=campaign)
+    return figures.fig4(campaign=campaign)
 
 
-def _fig5(quick: bool):
+def _fig5(quick, campaign):
     if quick:
         return figures.fig5(receiver_counts=(5, 15, 30), image_size=6 * 1024,
-                            seeds=(1,))
-    return figures.fig5()
+                            seeds=(1,), campaign=campaign)
+    return figures.fig5(campaign=campaign)
 
 
-def _fig6(quick: bool):
+def _fig6(quick, campaign):
     if quick:
         return figures.fig6(rates_n=(34, 48, 64), loss_rates=(0.1,),
-                            image_size=6 * 1024, seeds=(1,))
-    return figures.fig6()
+                            image_size=6 * 1024, seeds=(1,), campaign=campaign)
+    return figures.fig6(campaign=campaign)
 
 
-def _table2(quick: bool):
+def _table2(quick, campaign):
     if quick:
-        return tables.table2(image_size=6 * 1024, seeds=(1,), rows=8, cols=8)
-    return tables.table2()
+        return tables.table2(image_size=6 * 1024, seeds=(1,), rows=8, cols=8,
+                             campaign=campaign)
+    return tables.table2(campaign=campaign)
 
 
-def _table3(quick: bool):
+def _table3(quick, campaign):
     if quick:
-        return tables.table3(image_size=6 * 1024, seeds=(1,), rows=8, cols=8)
-    return tables.table3()
+        return tables.table3(image_size=6 * 1024, seeds=(1,), rows=8, cols=8,
+                             campaign=campaign)
+    return tables.table3(campaign=campaign)
 
 
-def _ablations(quick: bool):
+def _ablations(quick, campaign):
+    # Ablations compare matched pairs in-process; they run outside the
+    # campaign executor (each is a handful of short cells).
     size = 6 * 1024 if quick else 20 * 1024
     seeds = (1,) if quick else (1, 2)
     results = [
@@ -92,6 +108,45 @@ _TARGETS = {
 }
 
 
+def _campaign_from_args(args) -> CampaignConfig:
+    return CampaignConfig(
+        processes=args.processes,
+        task_timeout_s=args.task_timeout,
+        max_retries=args.max_retries,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+    )
+
+
+def _write_campaign_manifest(path, target: str, campaign: CampaignConfig) -> None:
+    from repro.obs.manifest import RunManifest
+
+    merged = {
+        "total": 0, "completed": 0, "resumed": 0,
+        "retried": 0, "quarantined": 0, "tasks": {},
+    }
+    for report in campaign.reports:
+        d = report.to_dict()
+        for key in ("total", "completed", "resumed", "retried", "quarantined"):
+            merged[key] += d[key]
+        merged["tasks"].update(d["tasks"])
+    manifest = RunManifest(
+        tool="repro.experiments",
+        config={
+            "target": target,
+            "processes": campaign.processes,
+            "task_timeout_s": campaign.task_timeout_s,
+            "max_retries": campaign.max_retries,
+            "checkpoint_dir": (
+                str(campaign.checkpoint_dir) if campaign.checkpoint_dir else None
+            ),
+            "resume": campaign.resume,
+        },
+        campaign=merged,
+    )
+    manifest.write(path)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
@@ -102,12 +157,28 @@ def main(argv=None) -> int:
                         help="scaled-down sizes for a fast check")
     parser.add_argument("--export", metavar="DIR", default=None,
                         help="also write each series as CSV into DIR")
+    parser.add_argument("--processes", type=int, default=None, metavar="N",
+                        help="run cells in N supervised worker processes")
+    parser.add_argument("--task-timeout", type=float, default=None, metavar="S",
+                        help="kill and retry cells exceeding S wall seconds")
+    parser.add_argument("--max-retries", type=int, default=2, metavar="R",
+                        help="attempts before a cell is quarantined (default 2)")
+    parser.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                        help="journal completed cells into DIR (crash-safe)")
+    parser.add_argument("--resume", action="store_true",
+                        help="skip cells already journalled in --checkpoint-dir")
+    parser.add_argument("--manifest", metavar="FILE", default=None,
+                        help="write a campaign manifest (attempt histories)")
     args = parser.parse_args(argv)
 
+    if args.resume and not args.checkpoint_dir:
+        parser.error("--resume requires --checkpoint-dir")
+
+    campaign = _campaign_from_args(args)
     names = sorted(_TARGETS) if args.target == "all" else [args.target]
     for name in names:
         with stopwatch() as elapsed:
-            result = _TARGETS[name](args.quick)
+            result = _TARGETS[name](args.quick, campaign)
         results = result if isinstance(result, list) else [result]
         for i, r in enumerate(results):
             print(r.report())
@@ -119,8 +190,13 @@ def main(argv=None) -> int:
                 directory.mkdir(parents=True, exist_ok=True)
                 suffix = f"_{i}" if len(results) > 1 else ""
                 r.save(directory / f"{name}{suffix}.csv")
+        if campaign.reports:
+            print(f"[campaign: {campaign.reports[-1].summary()}]")
         print(f"[{name} regenerated in {elapsed():.1f}s]")
         print()
+    if args.manifest:
+        _write_campaign_manifest(args.manifest, args.target, campaign)
+        print(f"[campaign manifest written to {args.manifest}]")
     return 0
 
 

@@ -1,0 +1,60 @@
+"""Deterministic retry backoff for the campaign executor.
+
+Transient task failures (a worker killed by the OS, a wall-clock timeout)
+are retried with a decelerating, jittered delay: each successive attempt
+waits geometrically longer, capped at ``max_s``, with a small multiplicative
+jitter so a batch of tasks that failed together does not retry in lockstep.
+
+The jitter is **deterministic**: it is drawn from a stream derived (via
+:func:`repro.sim.rng.derived_stream`) purely from the task key and the
+attempt number, never from wall time or process state.  Re-running or
+resuming a campaign therefore reproduces the exact same backoff schedule —
+the same determinism contract replint enforces for the simulations
+themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.sim.rng import derived_stream
+
+__all__ = ["BackoffPolicy"]
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Decelerating jittered retry schedule.
+
+    ``delay(key, attempt)`` for attempt 0, 1, 2, ... is
+    ``min(base_s * factor**attempt, max_s)`` plus a jitter drawn uniformly
+    from ``[0, jitter_frac * that]``.
+    """
+
+    base_s: float = 0.1
+    factor: float = 2.0
+    max_s: float = 30.0
+    jitter_frac: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.base_s < 0 or self.max_s < 0:
+            raise ConfigError("backoff delays must be non-negative")
+        if self.factor < 1.0:
+            raise ConfigError(
+                f"backoff factor {self.factor} would accelerate retries"
+            )
+        if not 0.0 <= self.jitter_frac <= 1.0:
+            raise ConfigError("jitter_frac must be within [0, 1]")
+
+    def delay(self, task_key: str, attempt: int) -> float:
+        """Seconds to wait before retry number ``attempt`` (0-based) of a task."""
+        raw = min(self.base_s * (self.factor ** attempt), self.max_s)
+        if self.jitter_frac == 0.0 or raw == 0.0:
+            return raw
+        rng = derived_stream("executor-backoff", task_key, attempt)
+        return raw * (1.0 + self.jitter_frac * rng.random())
+
+    def schedule(self, task_key: str, retries: int) -> "list[float]":
+        """The full delay sequence for ``retries`` retries of one task."""
+        return [self.delay(task_key, attempt) for attempt in range(retries)]

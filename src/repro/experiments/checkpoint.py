@@ -1,0 +1,101 @@
+"""Crash-safe campaign checkpointing.
+
+A campaign's progress lives in two JSONL journals inside the checkpoint
+directory:
+
+* ``checkpoint.jsonl`` — one record per *completed* task: its content-derived
+  key, label, attempt history, and the JSON-encoded result.  A killed
+  campaign restarted with ``resume=True`` replays this journal and re-runs
+  only the missing cells; because every cell is a deterministic function of
+  its parameters, the resumed campaign's aggregate output is byte-identical
+  to an uninterrupted run.
+* ``quarantine.jsonl`` — one record per task that exhausted its retry budget,
+  with the full failure taxonomy (kind, error, traceback, backoff waits) so
+  a campaign postmortem needs no log spelunking.
+
+Both journals are rewritten through :func:`repro.persist.atomic_write_jsonl`
+(write-temp-then-rename + fsync) on every update, so no kill — not even
+SIGKILL mid-write — can tear a record.  The journal is single-writer by
+design: one campaign process owns a checkpoint directory at a time.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.persist import atomic_write_jsonl, read_jsonl
+
+__all__ = ["CHECKPOINT_SCHEMA_VERSION", "CampaignCheckpoint"]
+
+CHECKPOINT_SCHEMA_VERSION = 1
+
+
+class CampaignCheckpoint:
+    """Journal of completed and quarantined tasks for one campaign.
+
+    ``resume=False`` starts a fresh journal (truncating any stale one in the
+    directory); ``resume=True`` loads the existing records so the executor
+    can skip already-completed tasks.
+    """
+
+    def __init__(self, directory: Union[str, Path], resume: bool = False) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.path = self.directory / "checkpoint.jsonl"
+        self.quarantine_path = self.directory / "quarantine.jsonl"
+        self._records: List[Dict[str, Any]] = []
+        self._quarantine: List[Dict[str, Any]] = []
+        if resume:
+            self._records = [
+                r for r in read_jsonl(self.path)
+                if isinstance(r, dict)
+                and r.get("schema_version") == CHECKPOINT_SCHEMA_VERSION
+            ]
+            self._quarantine = [
+                r for r in read_jsonl(self.quarantine_path)
+                if isinstance(r, dict)
+            ]
+        else:
+            atomic_write_jsonl(self.path, self._records)
+            atomic_write_jsonl(self.quarantine_path, self._quarantine)
+
+    # -- completed tasks --------------------------------------------------------
+
+    def completed(self) -> Dict[str, Dict[str, Any]]:
+        """Completed records keyed by task key (last record wins)."""
+        return {str(r["key"]): r for r in self._records if "key" in r}
+
+    def record_completed(
+        self,
+        key: str,
+        label: str,
+        result: Any,
+        attempts: Optional[List[Dict[str, Any]]] = None,
+    ) -> None:
+        """Journal one completed task; durable before this returns."""
+        self._records.append({
+            "schema_version": CHECKPOINT_SCHEMA_VERSION,
+            "key": key,
+            "label": label,
+            "attempts": list(attempts or []),
+            "result": result,
+        })
+        atomic_write_jsonl(self.path, self._records)
+
+    # -- quarantined tasks ------------------------------------------------------
+
+    def quarantined(self) -> List[Dict[str, Any]]:
+        return list(self._quarantine)
+
+    def record_quarantined(
+        self, key: str, label: str, attempts: List[Dict[str, Any]]
+    ) -> None:
+        """Journal one task that exhausted its retries; durable on return."""
+        self._quarantine.append({
+            "schema_version": CHECKPOINT_SCHEMA_VERSION,
+            "key": key,
+            "label": label,
+            "attempts": list(attempts),
+        })
+        atomic_write_jsonl(self.quarantine_path, self._quarantine)

@@ -4,6 +4,14 @@ Each function returns a :class:`FigureResult` whose rows mirror the series
 the corresponding paper figure plots.  Sizes are parameters so benchmarks
 can run scaled-down versions; the CLI (``python -m repro.experiments``)
 runs the full-size defaults.
+
+Every figure is a campaign: its simulations are gathered up front, executed
+through the fault-tolerant executor (:mod:`repro.experiments.executor`), and
+joined back into rows by content-derived task key.  Passing a
+:class:`~repro.experiments.executor.CampaignConfig` (the CLI's ``--resume``
+/ ``--task-timeout`` / ``--max-retries`` / ``--checkpoint-dir`` flags) makes
+a figure run parallel, supervised, and resumable; the default config runs
+cells inline with identical results.
 """
 
 from __future__ import annotations
@@ -16,7 +24,11 @@ from repro.analysis.onehop import (
     ack_lr_expected_tx,
     seluge_page_expected_tx,
 )
-from repro.core.config import LRSelugeParams, SelugeParams
+from repro.experiments.executor import (
+    CampaignConfig,
+    execute_scenarios,
+    task_key,
+)
 from repro.experiments.metrics import RunResult
 from repro.experiments.reporting import format_table
 from repro.experiments.scenarios import OneHopScenario, run_one_hop
@@ -78,14 +90,16 @@ class FigureResult:
         )
 
     def save(self, path) -> None:
-        """Write CSV or JSON based on the file extension."""
+        """Write CSV or JSON (by extension) through the atomic-write helper."""
         from pathlib import Path
+
+        from repro.persist import atomic_write_text
 
         target = Path(path)
         if target.suffix == ".json":
-            target.write_text(self.to_json(), encoding="utf-8")
+            atomic_write_text(target, self.to_json())
         else:
-            target.write_text(self.to_csv(), encoding="utf-8")
+            atomic_write_text(target, self.to_csv())
 
 
 def mean_metrics(results: Sequence[RunResult]) -> Dict[str, float]:
@@ -108,16 +122,33 @@ def _last_page_tx(result: RunResult) -> int:
     return result.counters[f"tx_data_unit_{last}"]
 
 
-def _sim_page_tx(protocol: str, p: float, receivers: int, image_size: int,
-                 seeds: Sequence[int]) -> float:
-    runs = [
-        run_one_hop(OneHopScenario(
-            protocol=protocol, loss_rate=p, receivers=receivers,
-            image_size=image_size, seed=s,
-        ))
+def _execute_one_hop(
+    scenarios: Sequence[OneHopScenario],
+    campaign: Optional[CampaignConfig],
+) -> Dict[str, RunResult]:
+    """Run one-hop cells through the executor, keyed by content-derived key."""
+    return execute_scenarios("one_hop", run_one_hop, scenarios, campaign)
+
+
+def _gather(
+    results: Dict[str, RunResult], scenarios: Sequence[OneHopScenario]
+) -> List[RunResult]:
+    """Join executor results back to a scenario group; quarantined cells drop."""
+    keys = (task_key("one_hop", s) for s in scenarios)
+    return [results[key] for key in keys if key in results]
+
+
+def _mean_or_nan(values: Sequence[float]) -> float:
+    return statistics.mean(values) if values else float("nan")
+
+
+def _page_tx_scenarios(protocol: str, p: float, receivers: int,
+                       image_size: int, seeds: Sequence[int]) -> List[OneHopScenario]:
+    return [
+        OneHopScenario(protocol=protocol, loss_rate=p, receivers=receivers,
+                       image_size=image_size, seed=s)
         for s in seeds
     ]
-    return statistics.mean(_last_page_tx(r) for r in runs)
 
 
 def fig3a(
@@ -128,20 +159,34 @@ def fig3a(
     k: int = 32,
     n: int = 48,
     kprime: int = 34,
+    campaign: Optional[CampaignConfig] = None,
 ) -> FigureResult:
     """Fig. 3(a): per-page data transmissions vs loss rate p.
 
     Analytical Seluge and ACK-based LR-Seluge curves alongside simulated
     Seluge and LR-Seluge (data packets of the image's last page).
     """
+    groups = {
+        (protocol, p): _page_tx_scenarios(protocol, p, receivers, image_size, seeds)
+        for p in loss_rates
+        for protocol in ("seluge", "lr-seluge")
+    }
+    results = _execute_one_hop(
+        [s for group in groups.values() for s in group], campaign
+    )
+
+    def page_tx(protocol: str, p: float) -> float:
+        runs = _gather(results, groups[(protocol, p)])
+        return _mean_or_nan([_last_page_tx(r) for r in runs])
+
     rows = []
     for p in loss_rates:
         rows.append([
             p,
             round(seluge_page_expected_tx(k, receivers, p), 1),
-            round(_sim_page_tx("seluge", p, receivers, image_size, seeds), 1),
+            round(page_tx("seluge", p), 1),
             round(ack_lr_expected_tx(1, kprime, n, receivers, p), 1),
-            round(_sim_page_tx("lr-seluge", p, receivers, image_size, seeds), 1),
+            round(page_tx("lr-seluge", p), 1),
         ])
     return FigureResult(
         name="Fig 3(a): per-page data transmissions vs loss rate p "
@@ -161,16 +206,32 @@ def fig3b(
     k: int = 32,
     n: int = 48,
     kprime: int = 34,
+    campaign: Optional[CampaignConfig] = None,
 ) -> FigureResult:
     """Fig. 3(b): per-page data transmissions vs number of receivers N."""
+    groups = {
+        (protocol, receivers): _page_tx_scenarios(
+            protocol, p, receivers, image_size, seeds
+        )
+        for receivers in receiver_counts
+        for protocol in ("seluge", "lr-seluge")
+    }
+    results = _execute_one_hop(
+        [s for group in groups.values() for s in group], campaign
+    )
+
+    def page_tx(protocol: str, receivers: int) -> float:
+        runs = _gather(results, groups[(protocol, receivers)])
+        return _mean_or_nan([_last_page_tx(r) for r in runs])
+
     rows = []
     for receivers in receiver_counts:
         rows.append([
             receivers,
             round(seluge_page_expected_tx(k, receivers, p), 1),
-            round(_sim_page_tx("seluge", p, receivers, image_size, seeds), 1),
+            round(page_tx("seluge", receivers), 1),
             round(ack_lr_expected_tx(1, kprime, n, receivers, p), 1),
-            round(_sim_page_tx("lr-seluge", p, receivers, image_size, seeds), 1),
+            round(page_tx("lr-seluge", receivers), 1),
         ])
     return FigureResult(
         name=f"Fig 3(b): per-page data transmissions vs receivers N (p={p})",
@@ -184,20 +245,35 @@ def fig3b(
 _METRIC_HEADERS = ["data_pkts", "snack_pkts", "adv_pkts", "total_bytes", "latency_s"]
 
 
+def _metric_cells(runs: Sequence[RunResult]) -> List[object]:
+    """The five averaged metrics, or ``nan`` cells if every seed quarantined."""
+    if not runs:
+        return [float("nan")] * len(_METRIC_HEADERS)
+    metrics = mean_metrics(runs)
+    return [round(metrics[h], 1) for h in _METRIC_HEADERS]
+
+
 def _sweep_rows(scenarios: Sequence[Tuple[object, OneHopScenario]],
-                seeds: Sequence[int]) -> List[List[object]]:
+                seeds: Sequence[int],
+                campaign: Optional[CampaignConfig] = None) -> List[List[object]]:
+    groups = {
+        (x, protocol): [
+            OneHopScenario(
+                **{**base_scenario.__dict__, "protocol": protocol, "seed": s}
+            )
+            for s in seeds
+        ]
+        for x, base_scenario in scenarios
+        for protocol in ("seluge", "lr-seluge")
+    }
+    results = _execute_one_hop(
+        [s for group in groups.values() for s in group], campaign
+    )
     rows: List[List[object]] = []
-    for x, base_scenario in scenarios:
+    for x, _base_scenario in scenarios:
         row: List[object] = [x]
         for protocol in ("seluge", "lr-seluge"):
-            runs = [
-                run_one_hop(OneHopScenario(
-                    **{**base_scenario.__dict__, "protocol": protocol, "seed": s}
-                ))
-                for s in seeds
-            ]
-            metrics = mean_metrics(runs)
-            row.extend(round(metrics[h], 1) for h in _METRIC_HEADERS)
+            row.extend(_metric_cells(_gather(results, groups[(x, protocol)])))
         rows.append(row)
     return rows
 
@@ -215,6 +291,7 @@ def fig4(
     receivers: int = 20,
     image_size: int = 20 * 1024,
     seeds: Sequence[int] = (1, 2, 3),
+    campaign: Optional[CampaignConfig] = None,
 ) -> FigureResult:
     """Fig. 4(a-e): the five metrics vs packet-loss rate p (one hop, N=20)."""
     scenarios = [
@@ -224,7 +301,7 @@ def fig4(
     return FigureResult(
         name=f"Fig 4: one-hop metrics vs loss rate p (N={receivers})",
         headers=_two_protocol_headers("p"),
-        rows=_sweep_rows(scenarios, seeds),
+        rows=_sweep_rows(scenarios, seeds, campaign),
         notes="Expected shape: LR-Seluge slightly worse for p <= 0.01, "
               "better on all five metrics beyond; ~25-45% savings at p=0.4.",
     )
@@ -235,6 +312,7 @@ def fig5(
     p: float = 0.1,
     image_size: int = 20 * 1024,
     seeds: Sequence[int] = (1, 2, 3),
+    campaign: Optional[CampaignConfig] = None,
 ) -> FigureResult:
     """Fig. 5(a-e): the five metrics vs node density N (one hop, p=0.1)."""
     scenarios = [
@@ -244,7 +322,7 @@ def fig5(
     return FigureResult(
         name=f"Fig 5: one-hop metrics vs receivers N (p={p})",
         headers=_two_protocol_headers("N"),
-        rows=_sweep_rows(scenarios, seeds),
+        rows=_sweep_rows(scenarios, seeds, campaign),
         notes="Expected shape: Seluge's costs grow clearly with N; "
               "LR-Seluge is much flatter, and its latency does not grow.",
     )
@@ -255,28 +333,41 @@ def image_size_sweep(
     p: float = 0.2,
     receivers: int = 20,
     seeds: Sequence[int] = (1, 2),
+    campaign: Optional[CampaignConfig] = None,
 ) -> FigureResult:
     """Section VI-C's final claim: LR-Seluge's advantage holds across image sizes."""
+    groups = {
+        (size_kib, protocol): [
+            OneHopScenario(protocol=protocol, loss_rate=p, receivers=receivers,
+                           image_size=size_kib * 1024, seed=s)
+            for s in seeds
+        ]
+        for size_kib in sizes_kib
+        for protocol in ("seluge", "lr-seluge")
+    }
+    results = _execute_one_hop(
+        [s for group in groups.values() for s in group], campaign
+    )
     rows: List[List[object]] = []
     for size_kib in sizes_kib:
         row: List[object] = [size_kib]
-        per_protocol = {}
+        per_protocol: Dict[str, Dict[str, float]] = {}
         for protocol in ("seluge", "lr-seluge"):
-            runs = [
-                run_one_hop(OneHopScenario(
-                    protocol=protocol, loss_rate=p, receivers=receivers,
-                    image_size=size_kib * 1024, seed=s,
-                ))
-                for s in seeds
-            ]
-            metrics = mean_metrics(runs)
-            per_protocol[protocol] = metrics
-            row.extend([round(metrics["data_pkts"], 1),
-                        round(metrics["total_bytes"], 1),
-                        round(metrics["latency_s"], 1)])
-        saving = 100.0 * (1.0 - per_protocol["lr-seluge"]["total_bytes"]
-                          / per_protocol["seluge"]["total_bytes"])
-        row.append(f"{saving:+.0f}%")
+            runs = _gather(results, groups[(size_kib, protocol)])
+            if runs:
+                metrics = mean_metrics(runs)
+                per_protocol[protocol] = metrics
+                row.extend([round(metrics["data_pkts"], 1),
+                            round(metrics["total_bytes"], 1),
+                            round(metrics["latency_s"], 1)])
+            else:
+                row.extend([float("nan")] * 3)
+        if len(per_protocol) == 2 and per_protocol["seluge"]["total_bytes"] > 0:
+            saving = 100.0 * (1.0 - per_protocol["lr-seluge"]["total_bytes"]
+                              / per_protocol["seluge"]["total_bytes"])
+            row.append(f"{saving:+.0f}%")
+        else:
+            row.append("n/a")
         rows.append(row)
     return FigureResult(
         name=f"Image-size sweep (p={p}, N={receivers})",
@@ -295,22 +386,27 @@ def fig6(
     image_size: int = 20 * 1024,
     k: int = 32,
     seeds: Sequence[int] = (1, 2, 3),
+    campaign: Optional[CampaignConfig] = None,
 ) -> FigureResult:
     """Fig. 6(a-e): LR-Seluge's five metrics vs erasure rate n/k (k=32)."""
+    groups = {
+        (p, n): [
+            OneHopScenario(protocol="lr-seluge", loss_rate=p, receivers=receivers,
+                           image_size=image_size, n=n, seed=s)
+            for s in seeds
+        ]
+        for p in loss_rates
+        for n in rates_n
+    }
+    results = _execute_one_hop(
+        [s for group in groups.values() for s in group], campaign
+    )
     rows: List[List[object]] = []
     for p in loss_rates:
         for n in rates_n:
-            runs = [
-                run_one_hop(OneHopScenario(
-                    protocol="lr-seluge", loss_rate=p, receivers=receivers,
-                    image_size=image_size, n=n, seed=s,
-                ))
-                for s in seeds
-            ]
-            metrics = mean_metrics(runs)
             rows.append(
                 [p, n, round(n / k, 2)]
-                + [round(metrics[h], 1) for h in _METRIC_HEADERS]
+                + _metric_cells(_gather(results, groups[(p, n)]))
             )
     return FigureResult(
         name=f"Fig 6: LR-Seluge metrics vs erasure rate n/k (k={k})",

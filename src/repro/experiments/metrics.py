@@ -100,6 +100,54 @@ class RunResult:
             "latency_s": round(self.latency, 2),
         }
 
+    # -- checkpoint (de)serialisation ----------------------------------------------
+
+    def to_jsonable(self) -> Dict[str, object]:
+        """A JSON-safe dict that :meth:`from_jsonable` restores exactly.
+
+        Floats survive JSON round-trips bit-for-bit (repr-shortest encoding),
+        so a result replayed from a campaign checkpoint is indistinguishable
+        from a freshly computed one — the foundation of byte-identical
+        resume.  Int dict keys become strings in JSON and are converted back.
+        """
+        return {
+            "protocol": self.protocol,
+            "completed": self.completed,
+            "latency": self.latency,
+            "counters": dict(self.counters),
+            "per_node_completion": {
+                str(node): t for node, t in self.per_node_completion.items()
+            },
+            "images_ok": self.images_ok,
+            "seed": self.seed,
+            "n_nodes": self.n_nodes,
+            "tracked": list(self.tracked) if self.tracked is not None else None,
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: Dict[str, object]) -> "RunResult":
+        """Rebuild a result from :meth:`to_jsonable` output."""
+        tracked = data.get("tracked")
+        n_nodes = data.get("n_nodes")
+        images_ok = data.get("images_ok")
+        return cls(
+            protocol=str(data.get("protocol", "?")),
+            completed=bool(data.get("completed", False)),
+            latency=float(data.get("latency", 0.0)),
+            counters={
+                str(k): int(v)
+                for k, v in dict(data.get("counters") or {}).items()
+            },
+            per_node_completion={
+                int(k): float(v)
+                for k, v in dict(data.get("per_node_completion") or {}).items()
+            },
+            images_ok=None if images_ok is None else bool(images_ok),
+            seed=int(data.get("seed", 0)),
+            n_nodes=None if n_nodes is None else int(n_nodes),
+            tracked=None if tracked is None else tuple(int(i) for i in tracked),
+        )
+
     def __str__(self) -> str:  # pragma: no cover - convenience formatting
         status = "ok" if self.completed else "INCOMPLETE"
         return (

@@ -1,4 +1,4 @@
-"""Generic parameter sweeps with optional multiprocessing.
+"""Generic parameter sweeps on the fault-tolerant campaign executor.
 
 The figure functions cover the paper's sweeps; this utility covers
 everything else a user might want to explore::
@@ -14,39 +14,62 @@ everything else a user might want to explore::
     )
     print(table.report())
 
-Every combination runs in its own process (simulations are CPU-bound and
-fully independent), with deterministic results regardless of scheduling.
+Every cell is an independent, deterministic simulation, so the whole sweep
+runs as one supervised campaign (:mod:`repro.experiments.executor`): crashed
+or hung workers are retried and quarantined instead of losing the sweep, a
+``campaign`` config with a checkpoint directory makes the run resumable
+after a kill, and rows are assembled **by task key** — never by list
+position — so retries and resume cannot misalign the table.
+
+Cells that end up quarantined degrade their row (metrics become ``nan``,
+``completed`` shows ``NO``) rather than aborting the sweep.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import asdict
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.experiments.executor import (
+    CampaignConfig,
+    execute_scenarios,
+    task_key,
+)
 from repro.experiments.figures import FigureResult, mean_metrics
-from repro.experiments.scenarios import MultiHopScenario, OneHopScenario, run_multihop, run_one_hop
+from repro.experiments.metrics import RunResult
+from repro.experiments.scenarios import (
+    MultiHopScenario,
+    OneHopScenario,
+    run_multihop,
+    run_one_hop,
+)
 
 __all__ = ["sweep_one_hop", "sweep_multihop"]
 
 _METRIC_HEADERS = ["data_pkts", "snack_pkts", "adv_pkts", "total_bytes", "latency_s"]
 
 
-def _run_one_hop_scenario(scenario: OneHopScenario):
-    return run_one_hop(scenario)
+def _campaign_for(processes: Optional[int],
+                  campaign: Optional[CampaignConfig]) -> CampaignConfig:
+    """Resolve the executor config from the legacy ``processes`` knob."""
+    if campaign is not None:
+        return campaign
+    return CampaignConfig(processes=processes)
 
 
-def _run_multihop_scenario(scenario: MultiHopScenario):
-    return run_multihop(scenario)
+def _metric_cells(results: Sequence[RunResult]) -> List[object]:
+    """The five averaged metrics, or ``nan`` cells if every seed quarantined."""
+    if not results:
+        return [float("nan")] * len(_METRIC_HEADERS)
+    metrics = mean_metrics(results)
+    return [round(metrics[h], 1) for h in _METRIC_HEADERS]
 
 
-def _execute(runner, scenarios, processes: Optional[int]):
-    if processes and processes > 1:
-        import multiprocessing
-
-        with multiprocessing.Pool(processes) as pool:
-            return pool.map(runner, scenarios)
-    return [runner(s) for s in scenarios]
+def _completed_cell(results: Sequence[RunResult], expected: int) -> str:
+    done = bool(results) and len(results) == expected and all(
+        r.completed for r in results
+    )
+    return "yes" if done else "NO"
 
 
 def sweep_one_hop(
@@ -58,23 +81,32 @@ def sweep_one_hop(
     n: int = 48,
     seeds: Sequence[int] = (1,),
     processes: Optional[int] = None,
+    campaign: Optional[CampaignConfig] = None,
 ) -> FigureResult:
     """Cartesian sweep over the one-hop scenario space."""
     combos = list(itertools.product(protocols, loss_rates, receivers))
-    rows: List[List[object]] = []
+    cells: Dict[Tuple[str, float, int], List[OneHopScenario]] = {}
     for protocol, p, n_recv in combos:
-        scenarios = [
+        cells[(protocol, p, n_recv)] = [
             OneHopScenario(protocol=protocol, loss_rate=p, receivers=n_recv,
                            image_size=image_size, k=k, n=n, seed=s)
             for s in seeds
         ]
-        results = _execute(_run_one_hop_scenario, scenarios, processes)
-        metrics = mean_metrics(results)
-        completed = all(r.completed for r in results)
+    scenarios = [s for combo in combos for s in cells[combo]]
+    results = execute_scenarios(
+        "one_hop", run_one_hop, scenarios, _campaign_for(processes, campaign)
+    )
+    rows: List[List[object]] = []
+    for protocol, p, n_recv in combos:
+        combo_results = [
+            results[key] for key in
+            (task_key("one_hop", s) for s in cells[(protocol, p, n_recv)])
+            if key in results
+        ]
         rows.append(
             [protocol, p, n_recv]
-            + [round(metrics[h], 1) for h in _METRIC_HEADERS]
-            + ["yes" if completed else "NO"]
+            + _metric_cells(combo_results)
+            + [_completed_cell(combo_results, len(seeds))]
         )
     return FigureResult(
         name=f"One-hop sweep ({image_size // 1024} KiB, k={k}, n={n}, "
@@ -90,23 +122,32 @@ def sweep_multihop(
     image_size: int = 8 * 1024,
     seeds: Sequence[int] = (1,),
     processes: Optional[int] = None,
+    campaign: Optional[CampaignConfig] = None,
 ) -> FigureResult:
     """Cartesian sweep over grid/random topologies."""
     combos = list(itertools.product(protocols, topologies))
-    rows: List[List[object]] = []
+    cells: Dict[Tuple[str, str], List[MultiHopScenario]] = {}
     for protocol, topology in combos:
-        scenarios = [
+        cells[(protocol, topology)] = [
             MultiHopScenario(protocol=protocol, topology=topology,
                              image_size=image_size, seed=s)
             for s in seeds
         ]
-        results = _execute(_run_multihop_scenario, scenarios, processes)
-        metrics = mean_metrics(results)
-        completed = all(r.completed for r in results)
+    scenarios = [s for combo in combos for s in cells[combo]]
+    results = execute_scenarios(
+        "multihop", run_multihop, scenarios, _campaign_for(processes, campaign)
+    )
+    rows: List[List[object]] = []
+    for protocol, topology in combos:
+        combo_results = [
+            results[key] for key in
+            (task_key("multihop", s) for s in cells[(protocol, topology)])
+            if key in results
+        ]
         rows.append(
             [protocol, topology]
-            + [round(metrics[h], 1) for h in _METRIC_HEADERS]
-            + ["yes" if completed else "NO"]
+            + _metric_cells(combo_results)
+            + [_completed_cell(combo_results, len(seeds))]
         )
     return FigureResult(
         name=f"Multi-hop sweep ({image_size // 1024} KiB, {len(seeds)} seed(s))",

@@ -2,14 +2,25 @@
 
 Table II: 15x15 tight mica2 grid (high density).
 Table III: 15x15 medium mica2 grid (low density).
+
+Multi-hop cells are the longest simulations in the repo, so the tables run
+through the fault-tolerant campaign executor: pass a
+:class:`~repro.experiments.executor.CampaignConfig` with a checkpoint
+directory to make a table resumable after a crash, or with ``processes`` to
+run the protocol/seed cells in supervised workers.
 """
 
 from __future__ import annotations
 
-import statistics
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
+from repro.experiments.executor import (
+    CampaignConfig,
+    execute_scenarios,
+    task_key,
+)
 from repro.experiments.figures import FigureResult, mean_metrics
+from repro.experiments.metrics import RunResult
 from repro.experiments.scenarios import MultiHopScenario, run_multihop
 
 __all__ = ["multihop_table", "table2", "table3"]
@@ -24,21 +35,32 @@ def multihop_table(
     seeds: Sequence[int] = (1, 2),
     protocols: Sequence[str] = ("seluge", "lr-seluge"),
     max_time: float = 14400.0,
+    campaign: Optional[CampaignConfig] = None,
 ) -> FigureResult:
     """Run both protocols over a grid and tabulate the five paper metrics."""
+    groups = {
+        protocol: [
+            MultiHopScenario(protocol=protocol, topology=topology,
+                             image_size=image_size, seed=s, max_time=max_time)
+            for s in seeds
+        ]
+        for protocol in protocols
+    }
+    results = execute_scenarios(
+        "multihop", run_multihop,
+        [s for group in groups.values() for s in group], campaign,
+    )
     rows: List[List[object]] = []
     per_protocol = {}
     for protocol in protocols:
-        runs = [
-            run_multihop(MultiHopScenario(
-                protocol=protocol, topology=topology, image_size=image_size,
-                seed=s, max_time=max_time,
-            ))
-            for s in seeds
-        ]
+        keys = (task_key("multihop", s) for s in groups[protocol])
+        runs: List[RunResult] = [results[k] for k in keys if k in results]
+        if not runs:
+            rows.append([protocol] + [float("nan")] * len(_METRIC_HEADERS) + ["NO"])
+            continue
         metrics = mean_metrics(runs)
         per_protocol[protocol] = metrics
-        completed = all(r.completed for r in runs)
+        completed = len(runs) == len(seeds) and all(r.completed for r in runs)
         rows.append(
             [protocol]
             + [round(metrics[h], 1) for h in _METRIC_HEADERS]
@@ -62,22 +84,26 @@ def multihop_table(
 
 
 def table2(image_size: int = 20 * 1024, seeds: Sequence[int] = (1, 2),
-           rows: int = 15, cols: int = 15) -> FigureResult:
+           rows: int = 15, cols: int = 15,
+           campaign: Optional[CampaignConfig] = None) -> FigureResult:
     """Table II: high-density (tight) mica2 grid."""
     return multihop_table(
         f"Table II: {rows}x{cols} tight mica2 grid (high density)",
         topology=f"tight:{rows}x{cols}",
         image_size=image_size,
         seeds=seeds,
+        campaign=campaign,
     )
 
 
 def table3(image_size: int = 20 * 1024, seeds: Sequence[int] = (1, 2),
-           rows: int = 15, cols: int = 15) -> FigureResult:
+           rows: int = 15, cols: int = 15,
+           campaign: Optional[CampaignConfig] = None) -> FigureResult:
     """Table III: low-density (medium) mica2 grid."""
     return multihop_table(
         f"Table III: {rows}x{cols} medium mica2 grid (low density)",
         topology=f"medium:{rows}x{cols}",
         image_size=image_size,
         seeds=seeds,
+        campaign=campaign,
     )

@@ -44,7 +44,9 @@ def save_topology(topo: Topology, path: PathLike) -> None:
         lines.append(f"node {node_id} {x:.4f} {y:.4f}")
     for (u, v), loss in sorted(topo.link_loss.items()):
         lines.append(f"link {u} {v} {1.0 - loss:.6f}")
-    Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+    from repro.persist import atomic_write_text
+
+    atomic_write_text(Path(path), "\n".join(lines) + "\n")
 
 
 def load_topology(

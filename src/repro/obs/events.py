@@ -168,8 +168,10 @@ class EventLog:
         return "\n".join(lines) + "\n"
 
     def write_jsonl(self, path: Union[str, Path]) -> Path:
+        from repro.persist import atomic_write_text
+
         target = Path(path)
-        target.write_text(self.to_jsonl(), encoding="utf-8")
+        atomic_write_text(target, self.to_jsonl())
         return target
 
     # -- Chrome trace_event / Perfetto ----------------------------------------
@@ -218,10 +220,10 @@ class EventLog:
 
     def write_chrome_trace(self, path: Union[str, Path],
                            process_name: str = "repro-sim") -> Path:
+        from repro.persist import atomic_write_text
+
         target = Path(path)
-        target.write_text(
-            json.dumps(self.to_chrome_trace(process_name)), encoding="utf-8"
-        )
+        atomic_write_text(target, json.dumps(self.to_chrome_trace(process_name)))
         return target
 
     # -- queries ---------------------------------------------------------------

@@ -70,6 +70,10 @@ class RunManifest:
     created_utc: str = field(default_factory=utc_now_iso)
     schema_version: int = MANIFEST_SCHEMA_VERSION
     unregistered_metrics: List[str] = field(default_factory=list)
+    # Campaign report (repro.experiments.executor CampaignReport.to_dict()):
+    # per-task attempt histories, retry/quarantine counts.  Additive and
+    # optional, so schema_version stays 1 and old readers ignore it.
+    campaign: Optional[Dict[str, Any]] = None
 
     # -- construction ----------------------------------------------------------
 
@@ -148,13 +152,16 @@ class RunManifest:
             out["trace_file"] = self.trace_file
         if self.profile is not None:
             out["profile"] = self.profile
+        if self.campaign is not None:
+            out["campaign"] = self.campaign
         return out
 
     def write(self, path: Union[str, Path]) -> Path:
+        from repro.persist import atomic_write_text
+
         target = Path(path)
-        target.write_text(
-            json.dumps(self.to_dict(), indent=2, sort_keys=False) + "\n",
-            encoding="utf-8",
+        atomic_write_text(
+            target, json.dumps(self.to_dict(), indent=2, sort_keys=False) + "\n"
         )
         return target
 
@@ -179,6 +186,7 @@ class RunManifest:
             created_utc=str(data.get("created_utc", "")),
             schema_version=int(version),
             unregistered_metrics=[str(n) for n in data.get("unregistered_metrics", [])],
+            campaign=data.get("campaign"),
         )
 
     @classmethod

@@ -217,6 +217,7 @@ def run_perf_smoke(
         "top_handlers": profile["handlers"][:5],
         "trace_events": len(log),
     }
-    Path(bench_out).write_text(json.dumps(bench, indent=2) + "\n",
-                               encoding="utf-8")
+    from repro.persist import atomic_write_text
+
+    atomic_write_text(Path(bench_out), json.dumps(bench, indent=2) + "\n")
     return bench, profiler.report()

@@ -1,0 +1,109 @@
+"""Crash-safe artifact persistence: the sanctioned atomic-write helper.
+
+Every result-shaped artifact this repository writes — run manifests, figure
+CSV/JSON exports, benchmark JSON, structured traces, campaign checkpoints —
+goes through this module, so a process killed mid-write can never leave a
+truncated or half-updated file behind.  The recipe is the classic one:
+
+1. write the full content to a temporary file *in the target directory*
+   (same filesystem, so the rename below is atomic),
+2. flush and ``os.fsync`` the temporary file,
+3. ``os.replace`` it over the target (atomic on POSIX and Windows).
+
+A reader therefore always sees either the previous complete artifact or the
+new complete artifact, never a mix.  replint rule REP012 enforces that
+``src/`` code does not open artifact files for writing anywhere else.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Iterable, List, Union
+
+__all__ = [
+    "atomic_write_text",
+    "atomic_write_json",
+    "atomic_write_jsonl",
+    "read_jsonl",
+]
+
+
+def atomic_write_text(
+    path: Union[str, Path], text: str, encoding: str = "utf-8"
+) -> Path:
+    """Atomically replace ``path`` with ``text`` (temp file + fsync + rename)."""
+    target = Path(path)
+    if target.parent and not target.parent.exists():
+        target.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(target.parent) or ".", prefix=target.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding=encoding) as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, target)
+    except BaseException:
+        # The temp file is garbage on any failure (including KeyboardInterrupt
+        # between write and rename) — remove it so retries start clean.
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return target
+
+
+def atomic_write_json(
+    path: Union[str, Path],
+    obj: Any,
+    indent: int = 2,
+    sort_keys: bool = False,
+) -> Path:
+    """Atomically write ``obj`` as JSON with a trailing newline."""
+    return atomic_write_text(
+        path, json.dumps(obj, indent=indent, sort_keys=sort_keys) + "\n"
+    )
+
+
+def atomic_write_jsonl(path: Union[str, Path], records: Iterable[Any]) -> Path:
+    """Atomically write an iterable of records as one-line-per-record JSONL.
+
+    The whole file is rewritten through the temp-then-rename path, so a
+    journal updated through this function can never contain a torn line.
+    Callers that append frequently (the campaign checkpoint) keep the record
+    list in memory and rewrite; journal lines are small next to the work each
+    one records, so the quadratic byte cost is noise.
+    """
+    lines = [json.dumps(record, sort_keys=True) for record in records]
+    text = "\n".join(lines) + "\n" if lines else ""
+    return atomic_write_text(path, text)
+
+
+def read_jsonl(path: Union[str, Path]) -> List[Any]:
+    """Read a JSONL file, tolerating a torn or malformed trailing line.
+
+    Journals written by :func:`atomic_write_jsonl` are never torn, but a
+    journal produced by a foreign writer (or a partially copied file) may
+    end mid-record; recovery keeps every complete record rather than
+    failing the whole resume.
+    """
+    target = Path(path)
+    if not target.exists():
+        return []
+    records: List[Any] = []
+    for line in target.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            # A torn tail is expected after a crash mid-append from a
+            # non-atomic writer; anything after it is unreadable anyway.
+            break
+    return records

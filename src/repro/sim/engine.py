@@ -10,9 +10,35 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Dict, List, Optional, Protocol, Tuple
 
-from repro.errors import SimulationError
+from repro.errors import SimulationError, SimulationRunawayError
 
-__all__ = ["Event", "SimProfiler", "Simulator"]
+__all__ = [
+    "Event",
+    "SimProfiler",
+    "Simulator",
+    "set_default_watchdog",
+    "get_default_watchdog",
+]
+
+# Process-wide watchdog defaults picked up by every Simulator constructed
+# without explicit limits.  Campaign executor workers set these once at
+# bootstrap (before any simulation runs) so a livelocked protocol raises a
+# structured SimulationRunawayError instead of hanging the worker forever;
+# interactive use leaves them off.
+_DEFAULT_WATCHDOG: Tuple[Optional[int], Optional[float]] = (None, None)
+
+
+def set_default_watchdog(
+    max_events: Optional[int] = None, max_sim_time: Optional[float] = None
+) -> None:
+    """Set process-wide watchdog limits inherited by new Simulators."""
+    global _DEFAULT_WATCHDOG
+    _DEFAULT_WATCHDOG = (max_events, max_sim_time)
+
+
+def get_default_watchdog() -> Tuple[Optional[int], Optional[float]]:
+    """The ``(max_events, max_sim_time)`` defaults new Simulators inherit."""
+    return _DEFAULT_WATCHDOG
 
 
 class SimProfiler(Protocol):
@@ -87,9 +113,22 @@ class Simulator:
 
     The simulator never advances past ``until`` and executes events in strict
     ``(time, insertion order)`` order.
+
+    ``max_events`` / ``max_sim_time`` are watchdog guards: exceeding either
+    raises :class:`SimulationRunawayError` (with heap statistics attached)
+    rather than letting a livelocked protocol spin forever.  They default to
+    the process-wide values from :func:`set_default_watchdog`, which the
+    campaign executor turns on inside its workers.  Unlike the ``max_events``
+    *argument* of :meth:`run` — a per-call budget that returns control — the
+    watchdog is a hard failure.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        max_events: Optional[int] = None,
+        max_sim_time: Optional[float] = None,
+    ) -> None:
+        default_events, default_time = _DEFAULT_WATCHDOG
         self._queue: List[Event] = []
         self._now: float = 0.0
         self._seq: int = 0
@@ -99,6 +138,8 @@ class Simulator:
         self._cancelled: int = 0   # lazy-deletion garbage still in the heap
         self._compactions: int = 0
         self._profiler: Optional[SimProfiler] = None
+        self._watchdog_events = max_events if max_events is not None else default_events
+        self._watchdog_time = max_sim_time if max_sim_time is not None else default_time
 
     @property
     def now(self) -> float:
@@ -190,6 +231,17 @@ class Simulator:
                     break
                 if max_events is not None and executed >= max_events:
                     break
+                if (
+                    self._watchdog_time is not None
+                    and event.time > self._watchdog_time
+                ):
+                    raise SimulationRunawayError(
+                        f"simulation exceeded max_sim_time="
+                        f"{self._watchdog_time} (next event at t={event.time:.3f})",
+                        events=self._processed,
+                        sim_time=self._now,
+                        heap_stats=self.heap_stats(),
+                    )
                 heapq.heappop(self._queue)
                 self._live -= 1
                 event._sim = None  # late cancel() must not double-count
@@ -204,6 +256,17 @@ class Simulator:
                     )
                 executed += 1
                 self._processed += 1
+                if (
+                    self._watchdog_events is not None
+                    and self._processed >= self._watchdog_events
+                ):
+                    raise SimulationRunawayError(
+                        f"simulation exceeded max_events="
+                        f"{self._watchdog_events} at t={self._now:.3f}",
+                        events=self._processed,
+                        sim_time=self._now,
+                        heap_stats=self.heap_stats(),
+                    )
         finally:
             self._running = False
         if until is not None and self._now < until:

@@ -1,0 +1,42 @@
+"""Tests for the deterministic retry backoff policy."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.backoff import BackoffPolicy
+
+
+def test_delay_is_deterministic_per_task_and_attempt():
+    policy = BackoffPolicy()
+    assert policy.delay("abc", 0) == policy.delay("abc", 0)
+    assert policy.delay("abc", 1) == policy.delay("abc", 1)
+    # Different tasks and attempts jitter independently.
+    assert policy.delay("abc", 0) != policy.delay("def", 0)
+
+
+def test_delay_grows_geometrically_and_caps():
+    policy = BackoffPolicy(base_s=1.0, factor=2.0, max_s=5.0, jitter_frac=0.0)
+    assert policy.schedule("k", 5) == [1.0, 2.0, 4.0, 5.0, 5.0]
+
+
+def test_jitter_stays_within_declared_band():
+    policy = BackoffPolicy(base_s=1.0, factor=2.0, max_s=30.0, jitter_frac=0.25)
+    for attempt in range(4):
+        raw = min(1.0 * 2.0 ** attempt, 30.0)
+        delay = policy.delay("some-task", attempt)
+        assert raw <= delay <= raw * 1.25
+
+
+def test_zero_base_means_immediate_retry():
+    policy = BackoffPolicy(base_s=0.0)
+    assert policy.delay("k", 0) == 0.0
+    assert policy.delay("k", 7) == 0.0
+
+
+def test_invalid_configs_rejected():
+    with pytest.raises(ConfigError):
+        BackoffPolicy(base_s=-1.0)
+    with pytest.raises(ConfigError):
+        BackoffPolicy(factor=0.5)
+    with pytest.raises(ConfigError):
+        BackoffPolicy(jitter_frac=1.5)

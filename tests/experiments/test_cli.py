@@ -81,3 +81,39 @@ def test_experiments_cli_quick_with_export(tmp_path, capsys):
     exported = list(tmp_path.glob("*.csv"))
     assert len(exported) == 1
     assert exported[0].read_text().startswith("p,")
+
+
+def test_experiments_cli_campaign_flags_and_manifest(tmp_path, capsys):
+    from repro.experiments.__main__ import main as experiments_main
+    from repro.obs.manifest import RunManifest
+
+    ckpt = tmp_path / "ckpt"
+    manifest_path = tmp_path / "campaign.manifest.json"
+    args = ["fig3a", "--quick",
+            "--checkpoint-dir", str(ckpt),
+            "--max-retries", "1",
+            "--manifest", str(manifest_path)]
+    assert experiments_main(args) == 0
+    first_out = capsys.readouterr().out
+    assert "campaign:" in first_out
+    assert (ckpt / "checkpoint.jsonl").exists()
+
+    manifest = RunManifest.load(manifest_path)
+    assert manifest.campaign["quarantined"] == 0
+    assert manifest.campaign["completed"] == manifest.campaign["total"] > 0
+    assert all(t["status"] == "completed"
+               for t in manifest.campaign["tasks"].values())
+
+    # Resume: every cell replays from the journal, output is identical.
+    assert experiments_main(args + ["--resume"]) == 0
+    resumed_out = capsys.readouterr().out
+    table = lambda text: [l for l in text.splitlines() if l.startswith("0.")]
+    assert table(resumed_out) == table(first_out)
+    assert "resumed" in resumed_out
+
+
+def test_experiments_cli_resume_requires_checkpoint_dir():
+    from repro.experiments.__main__ import main as experiments_main
+
+    with pytest.raises(SystemExit):
+        experiments_main(["fig3a", "--quick", "--resume"])

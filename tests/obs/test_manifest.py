@@ -122,3 +122,24 @@ def test_collect_git_rev_inside_and_outside_a_repo(tmp_path):
         assert len(rev.replace("+dirty", "")) >= 7
     # A directory with no repository degrades to None, never raises.
     assert collect_git_rev(cwd=tmp_path) is None
+
+
+def test_campaign_field_round_trips_and_stays_optional(tmp_path):
+    campaign = {
+        "total": 3, "completed": 3, "resumed": 1, "retried": 1,
+        "quarantined": 0,
+        "tasks": {"abc123": {"label": "cell", "status": "completed",
+                             "attempts": [{"attempt": 1, "outcome": "ok"}]}},
+    }
+    m = RunManifest("repro.experiments", campaign=campaign)
+    path = tmp_path / "manifest.json"
+    m.write(path)
+    loaded = RunManifest.load(path)
+    assert loaded.campaign == campaign
+    assert loaded.schema_version == m.schema_version  # additive, still v1
+
+    # Absent campaign stays absent: not serialised, loads as None.
+    plain = RunManifest("repro.simulate")
+    plain.write(path)
+    assert "campaign" not in plain.to_dict()
+    assert RunManifest.load(path).campaign is None

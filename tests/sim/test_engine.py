@@ -253,3 +253,68 @@ def test_cancel_inside_handler_of_same_timestamp(sim):
     assert fired == [1]
     assert sim.pending_events == 0
     assert third is not None
+
+
+# ---------------------------------------------------------------------------
+# Watchdog (SimulationRunawayError)
+# ---------------------------------------------------------------------------
+
+def test_watchdog_max_events_raises_runaway():
+    from repro.errors import SimulationRunawayError
+
+    sim = Simulator(max_events=50)
+
+    def respawn():
+        sim.schedule(sim.now + 0.1, respawn)
+
+    sim.schedule(0.1, respawn)
+    with pytest.raises(SimulationRunawayError) as excinfo:
+        sim.run()
+    assert excinfo.value.events == 50
+    assert excinfo.value.heap_stats["pending"] >= 0
+
+
+def test_watchdog_max_sim_time_raises_before_executing_late_event():
+    from repro.errors import SimulationRunawayError
+
+    sim = Simulator(max_sim_time=10.0)
+    fired = []
+    sim.schedule(5.0, fired.append, "early")
+    sim.schedule(50.0, fired.append, "late")
+    with pytest.raises(SimulationRunawayError) as excinfo:
+        sim.run()
+    assert fired == ["early"]
+    assert excinfo.value.sim_time == 5.0
+
+
+def test_watchdog_distinct_from_run_budget():
+    """run(max_events=N) is a cooperative budget, not a watchdog failure."""
+    sim = Simulator(max_events=100)
+
+    def respawn():
+        sim.schedule(sim.now + 0.1, respawn)
+
+    sim.schedule(0.1, respawn)
+    assert sim.run(max_events=10) == 10  # returns control, no exception
+
+
+def test_default_watchdog_is_inherited_and_restorable():
+    from repro.errors import SimulationRunawayError
+    from repro.sim.engine import get_default_watchdog, set_default_watchdog
+
+    saved = get_default_watchdog()
+    try:
+        set_default_watchdog(5, None)
+        sim = Simulator()
+
+        def respawn():
+            sim.schedule(sim.now + 0.1, respawn)
+
+        sim.schedule(0.1, respawn)
+        with pytest.raises(SimulationRunawayError):
+            sim.run()
+        # An explicit argument overrides the process default.
+        assert Simulator(max_events=10**9)._watchdog_events == 10**9
+    finally:
+        set_default_watchdog(*saved)
+    assert get_default_watchdog() == saved

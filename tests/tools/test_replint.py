@@ -621,6 +621,72 @@ def test_rep011_is_inert_without_a_vocabulary():
 
 
 # ---------------------------------------------------------------------------
+# REP012 — unsanctioned-artifact-write
+# ---------------------------------------------------------------------------
+
+def test_rep012_flags_open_for_write():
+    findings = run(
+        """
+        def dump(path, data):
+            with open(path, "w") as handle:
+                handle.write(data)
+        """
+    )
+    assert "REP012" in codes(findings)
+
+
+def test_rep012_flags_write_modes_only():
+    source = """
+        def roundtrip(path):
+            with open(path) as ro:
+                data = ro.read()
+            with open(path, mode="rb") as rb:
+                rb.read()
+            with open(path, "a") as log:
+                log.write(data)
+    """
+    findings = run(source)
+    assert codes(findings).count("REP012") == 1  # only the append
+
+
+def test_rep012_flags_write_text():
+    findings = run(
+        """
+        from pathlib import Path
+
+        def export(path, text):
+            Path(path).write_text(text, encoding="utf-8")
+        """
+    )
+    assert "REP012" in codes(findings)
+
+
+def test_rep012_allows_persist_tests_and_tools():
+    source = """
+        import os
+
+        def atomic(path, text):
+            fd = os.open(path, 0)
+            with os.fdopen(fd, "w") as handle:
+                handle.write(text)
+    """
+    assert codes(run(source, relpath="src/repro/persist.py")) == []
+    assert codes(run(source, relpath="tests/test_mod.py")) == []
+    assert codes(run(source, relpath="tools/replint/cli.py")) == []
+    assert "REP012" in codes(run(source))
+
+
+def test_rep012_skips_dynamic_modes():
+    findings = run(
+        """
+        def reopen(path, mode):
+            return open(path, mode)
+        """
+    )
+    assert codes(findings) == []
+
+
+# ---------------------------------------------------------------------------
 # Parse errors
 # ---------------------------------------------------------------------------
 

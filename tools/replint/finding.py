@@ -207,6 +207,21 @@ RULES: Tuple[Rule, ...] = (
             "span_begin/span_end must be declared in the catalogue first."
         ),
     ),
+    Rule(
+        code="REP012",
+        name="unsanctioned-artifact-write",
+        severity=Severity.ERROR,
+        summary="no direct open(...,'w')/write_text in src/ outside repro/persist.py",
+        rationale=(
+            "Artifacts (manifests, checkpoints, figure exports, benchmark "
+            "JSON) must be written through repro/persist.py's atomic "
+            "write-temp-then-rename helpers, so a crash or SIGKILL mid-write "
+            "can never leave a torn half-file that a resumed campaign or a "
+            "manifest diff then misreads. A direct open-for-write bypasses "
+            "that durability contract. (Exception *handling* around writes "
+            "is REP005's territory; this rule only covers the write path.)"
+        ),
+    ),
 )
 
 RULES_BY_CODE = {rule.code: rule for rule in RULES}

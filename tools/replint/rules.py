@@ -756,6 +756,73 @@ def check_rep011(tree: ast.AST, ctx: FileContext) -> List[Finding]:
     return findings
 
 
+# ---------------------------------------------------------------------------
+# REP012 — unsanctioned-artifact-write
+# ---------------------------------------------------------------------------
+
+# Mode strings that open a file for writing (create, truncate, append,
+# exclusive, or update).  Pure reads ("r", "rb") pass.
+def _mode_writes(mode: str) -> bool:
+    return any(ch in mode for ch in "wax+")
+
+
+def _open_mode(node: ast.Call) -> Optional[str]:
+    """The literal mode of an ``open(...)``/``os.fdopen(...)`` call, if any.
+
+    Returns "r" when the call has no mode argument (open's default), and
+    None when the mode is a non-literal expression (dynamic modes are rare
+    enough that flagging them would be noise).
+    """
+    for kw in node.keywords:
+        if kw.arg == "mode":
+            if isinstance(kw.value, ast.Constant) and isinstance(kw.value.value, str):
+                return kw.value.value
+            return None
+    if len(node.args) >= 2:
+        arg = node.args[1]
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            return arg.value
+        return None
+    return "r"
+
+
+def check_rep012(tree: ast.AST, ctx: FileContext) -> List[Finding]:
+    """Direct artifact writes in src/ outside the sanctioned persist helper.
+
+    Detection: ``open(...)`` / ``os.fdopen(...)`` with a write/append/update
+    mode, and any ``<...>.write_text(...)`` call.  ``src/repro/persist.py``
+    is the single sanctioned call site (its helpers implement the atomic
+    write-temp-then-rename + fsync protocol); tests and tools may write
+    however they like.  Heuristic limits: a file handle smuggled through a
+    helper that opens on the caller's behalf is not seen — the REP012 test
+    fixtures and review remain the backstop for exotic spellings.
+    """
+    if not ctx.in_src or ctx.path.endswith("repro/persist.py"):
+        return []
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = _dotted(node.func)
+        if dotted in ("open", "os.fdopen", "io.open"):
+            mode = _open_mode(node)
+            if mode is not None and _mode_writes(mode):
+                findings.append(_finding(
+                    "REP012", ctx, node,
+                    f"{dotted}(..., {mode!r}) writes an artifact directly — "
+                    "route it through repro/persist.py (atomic_write_text/"
+                    "json/jsonl) so a crash cannot tear the file",
+                ))
+        elif isinstance(node.func, ast.Attribute) and node.func.attr == "write_text":
+            findings.append(_finding(
+                "REP012", ctx, node,
+                ".write_text(...) writes an artifact directly — route it "
+                "through repro/persist.py (atomic_write_text/json/jsonl) "
+                "so a crash cannot tear the file",
+            ))
+    return findings
+
+
 RULE_CHECKS: Dict[str, Callable[[ast.AST, FileContext], List[Finding]]] = {
     "REP001": check_rep001,
     "REP002": check_rep002,
@@ -768,6 +835,7 @@ RULE_CHECKS: Dict[str, Callable[[ast.AST, FileContext], List[Finding]]] = {
     "REP009": check_rep009,
     "REP010": check_rep010,
     "REP011": check_rep011,
+    "REP012": check_rep012,
 }
 
 
