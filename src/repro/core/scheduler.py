@@ -113,6 +113,20 @@ class TrackingTable:
     def remove(self, node_id: int) -> None:
         self.entries.pop(node_id, None)
 
+    def snapshot(self) -> Dict[str, object]:
+        """Introspection view for the flight recorder (JSON-serialisable).
+
+        Neighbor ids key the distance map; ``popularity`` is the full
+        per-index demand vector so a trace can replay scheduler decisions.
+        """
+        return {
+            "popularity": self.popularity_vector(),
+            "distances": {
+                node_id: self.entries[node_id].distance
+                for node_id in sorted(self.entries)
+            },
+        }
+
 
 class GreedyRoundRobinScheduler:
     """LR-Seluge's packet selection policy over a :class:`TrackingTable`."""
@@ -199,6 +213,10 @@ class UnionScheduler:
         self._last = choice
         return choice
 
+    def snapshot(self) -> Dict[str, object]:
+        """Introspection view for the flight recorder (JSON-serialisable)."""
+        return {"pending": sorted(self.pending)}
+
 
 class FreshPacketScheduler:
     """Rateless policy: always transmit a never-sent-before encoded packet.
@@ -236,3 +254,10 @@ class FreshPacketScheduler:
                 done.append(node_id)
         for node_id in done:
             del self.deficits[node_id]
+
+    def snapshot(self) -> Dict[str, object]:
+        """Introspection view for the flight recorder (JSON-serialisable)."""
+        return {
+            "next_index": self.next_index,
+            "deficits": {n: self.deficits[n] for n in sorted(self.deficits)},
+        }

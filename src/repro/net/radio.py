@@ -88,6 +88,8 @@ class Radio:
         # Fault hook: may rewrite a frame per delivery (corruption) or return
         # None to model a link-layer CRC drop.  Installed by a FaultInjector.
         self.tamper: Optional[Callable[[Frame, int, int], Optional[Frame]]] = None
+        if trace.flight is not None:
+            trace.flight.observe_radio(self)
 
     # -- registration -------------------------------------------------------
 
@@ -231,6 +233,9 @@ class Radio:
         unit = getattr(frame.payload, "unit", None)
         if unit is not None:
             self.trace.count(f"{frame.kind.metric_name}_unit_{unit}")
+        if self.trace.flight is not None:
+            self.trace.flight.on_tx(self.sim.now, node_id, frame.kind.value,
+                                    frame.size_bytes, unit)
         self.sim.schedule(duration, self._finish, tx)
 
     def _finish(self, tx: _Transmission) -> None:
@@ -272,22 +277,38 @@ class Radio:
         return False
 
     def _attempt_delivery(self, tx: _Transmission, receiver: int) -> None:
+        flight = self.trace.flight
+        kind = tx.frame.kind.value
         if self.config.collisions:
             if self._was_transmitting(receiver, tx):
                 self.trace.count("rx_halfduplex_miss")
+                if flight is not None:
+                    flight.on_loss(self.sim.now, tx.sender, receiver,
+                                   "halfduplex", kind)
                 return
             if self._overlaps(tx, receiver):
                 self.trace.count("rx_collision")
+                if flight is not None:
+                    flight.on_loss(self.sim.now, tx.sender, receiver,
+                                   "collision", kind)
                 return
         if self.loss_model.should_drop(self.rngs, tx.sender, receiver, tx.frame, self.sim.now):
             self.trace.count("rx_lost")
+            if flight is not None:
+                flight.on_loss(self.sim.now, tx.sender, receiver, "channel", kind)
             return
         frame = tx.frame
         if self.tamper is not None:
             frame = self.tamper(frame, tx.sender, receiver)
             if frame is None:
                 self.trace.count("rx_fault_dropped")
+                if flight is not None:
+                    flight.on_loss(self.sim.now, tx.sender, receiver,
+                                   "tamper", kind)
                 return
         self.trace.count("rx_delivered")
         self.trace.count("rx_delivered_bytes", frame.size_bytes)
+        if flight is not None:
+            flight.on_rx(self.sim.now, tx.sender, receiver, kind,
+                         getattr(frame.payload, "unit", None))
         self._nodes[receiver].on_receive(frame, tx.sender)

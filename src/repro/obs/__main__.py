@@ -7,7 +7,10 @@
     python -m repro.obs trace run.trace.jsonl
     python -m repro.obs perf-smoke --out BENCH_sim_core.json \\
         --manifest perf.manifest.json --trace perf.trace.jsonl \\
-        --chrome-trace perf.chrome.json
+        --chrome-trace perf.chrome.json --repeats 3
+    python -m repro.obs check-invariants run.trace.jsonl
+    python -m repro.obs analyze run.trace.jsonl --out analysis.json
+    python -m repro.obs bench-compare BENCH_current.json BENCH_sim_core.json
 """
 
 from __future__ import annotations
@@ -17,6 +20,7 @@ import sys
 
 from repro.obs.manifest import RunManifest
 from repro.obs.report import (
+    bench_compare,
     diff_report,
     manifest_summary,
     run_perf_smoke,
@@ -57,6 +61,31 @@ def _build_parser() -> argparse.ArgumentParser:
     smoke.add_argument("--seed", type=int, default=1)
     smoke.add_argument("--receivers", type=int, default=8)
     smoke.add_argument("--image-kib", type=int, default=4)
+    smoke.add_argument("--repeats", type=int, default=1,
+                       help="repeat the run and report median events/s")
+
+    check = sub.add_parser("check-invariants",
+                           help="replay a JSONL trace against the protocol "
+                                "invariant library (exit 1 on violations)")
+    check.add_argument("trace_file")
+
+    analyze = sub.add_parser("analyze",
+                             help="reduce a flight trace into wavefront/"
+                                  "stall/link-matrix reports")
+    analyze.add_argument("trace_file")
+    analyze.add_argument("--out", default=None,
+                         help="also write the analysis JSON here")
+    analyze.add_argument("--stall-factor", type=float, default=5.0,
+                         help="flag page gaps above this multiple of the "
+                              "median gap")
+
+    compare = sub.add_parser("bench-compare",
+                             help="gate a perf-smoke JSON against a baseline "
+                                  "(exit 1 on >tolerance regression)")
+    compare.add_argument("current", help="freshly generated BENCH json")
+    compare.add_argument("baseline", help="committed baseline BENCH json")
+    compare.add_argument("--tolerance", type=float, default=0.25,
+                         help="allowed fractional slowdown (default 0.25)")
     return parser
 
 
@@ -76,11 +105,32 @@ def main(argv=None) -> int:
     if args.command == "trace":
         print(trace_summary(args.trace_file))
         return 0
+    if args.command == "check-invariants":
+        from repro.obs.invariants import check_jsonl
+
+        report = check_jsonl(args.trace_file)
+        print(report.summary())
+        return 0 if report.ok else 1
+    if args.command == "analyze":
+        from repro.obs.analyze import analyze_jsonl, render_analysis
+
+        analysis = analyze_jsonl(args.trace_file, out=args.out,
+                                 stall_factor=args.stall_factor)
+        print(render_analysis(analysis))
+        if args.out:
+            print(f"wrote {args.out}")
+        return 0
+    if args.command == "bench-compare":
+        ok, text = bench_compare(args.current, args.baseline,
+                                 tolerance=args.tolerance)
+        print(text)
+        return 0 if ok else 1
     if args.command == "perf-smoke":
         bench, profile_text = run_perf_smoke(
             args.out, manifest_out=args.manifest, trace_out=args.trace,
             chrome_out=args.chrome_trace, seed=args.seed,
             receivers=args.receivers, image_kib=args.image_kib,
+            repeats=args.repeats,
         )
         print(profile_text)
         print(f"wrote {args.out}: {bench['events']} events, "
@@ -97,4 +147,10 @@ def main(argv=None) -> int:
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. `... analyze trace | head`
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)

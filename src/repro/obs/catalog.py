@@ -127,6 +127,30 @@ METRICS: Tuple[MetricSpec, ...] = (
                "trace records evicted by the TraceRecorder ring buffer"),
     MetricSpec("obs_unregistered_metric", "counter", "names",
                "distinct counter names used without a catalogue entry"),
+    # -- flight recorder (per-link accounting, --flight-record) ---------------
+    MetricSpec("link_tx", "event", "frames",
+               "flight: a frame was put on the air by a sender"),
+    MetricSpec("link_rx", "event", "frames",
+               "flight: a frame was delivered over one (src, dst) link"),
+    MetricSpec("link_lost", "event", "frames",
+               "flight: a delivery attempt failed (channel/collision/"
+               "halfduplex/tamper cause in detail)"),
+    MetricSpec("link_auth_drop", "event", "packets",
+               "flight: a data packet failed authentication before buffering"),
+    MetricSpec("link_duplicate", "event", "packets",
+               "flight: an already-buffered data packet arrived again"),
+    MetricSpec("pkt_auth_ok", "event", "packets",
+               "flight: per-packet authentication succeeded at a receiver"),
+    MetricSpec("pkt_buffered", "event", "packets",
+               "flight: a receiver inserted a data packet into its RX buffer"),
+    MetricSpec("tracker_snapshot", "event", "snapshots",
+               "flight: TX-policy state after a SNACK fold or a transmission"),
+    MetricSpec("flight_meta", "event", "runs",
+               "flight: run metadata (protocol, base station, total units)"),
+    MetricSpec("flight_topology", "event", "maps",
+               "flight: hop distance of every node from the base station"),
+    MetricSpec("flight_link_stats", "event", "links",
+               "flight: end-of-run per-link accounting summary"),
     # -- span kinds (packet/page lifecycles) ----------------------------------
     MetricSpec("span_disseminate", "event", "spans",
                "node lifetime from start() to holding the full image"),

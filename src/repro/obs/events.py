@@ -87,6 +87,7 @@ class EventLog:
         self.events: List[TraceEvent] = []
         self.max_events = max_events
         self.dropped = 0
+        self.open_spans_flushed = 0
         self._open_spans: Dict[SpanKey, Tuple[float, Dict[str, Any]]] = {}
 
     def __len__(self) -> int:
@@ -148,6 +149,7 @@ class EventLog:
                                     detail=merged))
             flushed += 1
         self._open_spans.clear()
+        self.open_spans_flushed += flushed
         return flushed
 
     # -- JSONL ----------------------------------------------------------------
@@ -158,6 +160,7 @@ class EventLog:
             "schema_version": TRACE_SCHEMA_VERSION,
             "events": len(self.events),
             "dropped": self.dropped,
+            "open_spans_flushed": self.open_spans_flushed,
         }
 
     def to_jsonl(self) -> str:

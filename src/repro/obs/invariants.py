@@ -1,0 +1,308 @@
+"""Trace-driven protocol invariant checking.
+
+Replays a structured event trace (an in-memory :class:`~repro.obs.events.
+EventLog`, a list of :class:`~repro.obs.events.TraceEvent`, or a JSONL file)
+against a library of protocol invariants and reports every violation with the
+offending event's ``ts``/``node``/``kind``.  The checker is pure offline
+analysis — it never imports simulator state — so the same trace a CI smoke
+run archives is the artifact a failure is debugged from.
+
+Invariant library
+-----------------
+
+``auth_before_buffer``
+    A *secured* node (``flight_meta`` ``secured=true``) never buffers a data
+    packet (``pkt_buffered``) whose ``(version, unit, index)`` was not first
+    authenticated (``pkt_auth_ok``).  This is the Seluge/LR-Seluge
+    DoS-resilience claim; plain Deluge advertises ``secured=false`` and is
+    exempt rather than falsely flagged.
+
+``tracker_monotone``
+    A tracking-table neighbor's distance (packets still needed to decode)
+    never increases between SNACKs: ``mark_sent`` only ever decrements.  The
+    requester of a ``trigger="snack"`` snapshot is exempt — a SNACK
+    legitimately refreshes (and may raise) that one entry.
+
+``serve_only_decoded``
+    A node only transmits data packets (``link_tx`` with ``kind="data"``)
+    for pages it has decoded, tracked through ``unit_complete``,
+    ``fault_reboot`` (``resume_unit`` accounts for flash recovery), and
+    ``version_adopted`` resets.  Senders that never emitted ``flight_meta``
+    (e.g. attacker rigs outside the protocol) are not tracked.
+
+``pages_sequential``
+    ``unit_complete`` events per node advance strictly page by page:
+    0, 1, 2, … — restarting at 0 after ``version_adopted`` and at
+    ``resume_unit`` after ``fault_reboot``.
+
+``complete_means_all_pages``
+    A ``node_complete`` event implies the node decoded every page: its
+    tracked unit count equals the event's ``total`` detail.
+
+The first two invariants need a flight-recorded trace (``--flight-record``);
+the last three also work on plain span traces.  Events whose prerequisites
+are absent are skipped, and :attr:`InvariantReport.checked` records how many
+events each invariant actually examined so "vacuously clean" is visible.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple, Union
+
+from repro.obs.events import EventLog, TraceEvent, load_jsonl
+
+__all__ = [
+    "INVARIANTS",
+    "Violation",
+    "InvariantReport",
+    "check_events",
+    "check_jsonl",
+]
+
+INVARIANTS: Tuple[str, ...] = (
+    "auth_before_buffer",
+    "tracker_monotone",
+    "serve_only_decoded",
+    "pages_sequential",
+    "complete_means_all_pages",
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach, anchored to the offending trace event."""
+
+    invariant: str
+    ts: float
+    node: Optional[int]
+    kind: str
+    message: str
+
+    def render(self) -> str:
+        where = "network" if self.node is None else f"node {self.node}"
+        return (f"[{self.invariant}] t={self.ts:.6f} {where} "
+                f"({self.kind}): {self.message}")
+
+
+@dataclass
+class InvariantReport:
+    """Outcome of one checking pass."""
+
+    violations: List[Violation] = field(default_factory=list)
+    #: events examined per invariant — 0 means the trace lacked the inputs.
+    checked: Dict[str, int] = field(default_factory=dict)
+    events_seen: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def of_invariant(self, invariant: str) -> List[Violation]:
+        return [v for v in self.violations if v.invariant == invariant]
+
+    def summary(self) -> str:
+        lines = [
+            f"{self.events_seen} events; "
+            + ", ".join(f"{name}={self.checked.get(name, 0)}"
+                        for name in INVARIANTS)
+        ]
+        if self.ok:
+            lines.append("all invariants hold")
+        else:
+            lines.append(f"{len(self.violations)} violation(s):")
+            lines.extend("  " + v.render() for v in self.violations)
+        return "\n".join(lines)
+
+
+def _int_keys(mapping: Dict[Any, Any]) -> Dict[int, Any]:
+    """Normalise JSON round-tripped dict keys back to ints."""
+    return {int(k): v for k, v in mapping.items()}
+
+
+class _Checker:
+    def __init__(self) -> None:
+        self.report = InvariantReport(checked={name: 0 for name in INVARIANTS})
+        # per-node protocol facts from flight_meta
+        self.secured: Dict[int, bool] = {}
+        self.is_base: Dict[int, bool] = {}
+        # per-node decode progress (inf = base station, always complete)
+        self.units: Dict[int, float] = {}
+        self.expected_unit: Dict[int, int] = {}
+        # auth_before_buffer: authenticated (version, unit, index) per node
+        self.authed: Dict[int, Set[Tuple[int, int, int]]] = {}
+        # tracker_monotone: last per-neighbor distances per (node, unit)
+        self.last_distances: Dict[Tuple[int, int], Dict[int, int]] = {}
+
+    def _violate(self, invariant: str, event: TraceEvent, message: str) -> None:
+        self.report.violations.append(
+            Violation(invariant, event.ts, event.node, event.kind, message)
+        )
+
+    # -- event handlers -------------------------------------------------------
+
+    def _on_meta(self, e: TraceEvent) -> None:
+        if e.node is None:
+            return
+        d = e.detail
+        self.secured[e.node] = bool(d.get("secured", False))
+        base = bool(d.get("base", False))
+        self.is_base[e.node] = base
+        if base:
+            self.units[e.node] = math.inf
+
+    def _on_auth_ok(self, e: TraceEvent) -> None:
+        if e.node is None:
+            return
+        d = e.detail
+        self.authed.setdefault(e.node, set()).add(
+            (int(d.get("version", 0)), int(d["unit"]), int(d["index"]))
+        )
+
+    def _on_buffered(self, e: TraceEvent) -> None:
+        if e.node is None or not self.secured.get(e.node, False):
+            return
+        self.report.checked["auth_before_buffer"] += 1
+        d = e.detail
+        key = (int(d.get("version", 0)), int(d["unit"]), int(d["index"]))
+        if key not in self.authed.get(e.node, ()):
+            self._violate(
+                "auth_before_buffer", e,
+                f"buffered packet version={key[0]} unit={key[1]} "
+                f"index={key[2]} without prior authentication",
+            )
+
+    def _on_tracker(self, e: TraceEvent) -> None:
+        if e.node is None or "distances" not in e.detail:
+            return
+        d = e.detail
+        unit = int(d["unit"])
+        cur = {k: int(v) for k, v in _int_keys(dict(d["distances"])).items()}
+        key = (e.node, unit)
+        prev = self.last_distances.get(key)
+        if prev is not None:
+            self.report.checked["tracker_monotone"] += 1
+            exempt = (
+                int(d["requester"])
+                if d.get("trigger") == "snack" and "requester" in d
+                else None
+            )
+            for neighbor in sorted(set(prev) & set(cur)):
+                if neighbor == exempt:
+                    continue
+                if cur[neighbor] > prev[neighbor]:
+                    self._violate(
+                        "tracker_monotone", e,
+                        f"unit {unit}: neighbor {neighbor} distance rose "
+                        f"{prev[neighbor]} -> {cur[neighbor]} "
+                        f"(trigger={d.get('trigger')!r})",
+                    )
+        self.last_distances[key] = cur
+
+    def _on_link_tx(self, e: TraceEvent) -> None:
+        if e.node is None or e.detail.get("kind") != "data":
+            return
+        unit = e.detail.get("unit")
+        if unit is None or e.node not in self.is_base:
+            return  # non-data frame, or a sender outside the protocol
+        self.report.checked["serve_only_decoded"] += 1
+        if self.units.get(e.node, 0) <= int(unit):
+            self._violate(
+                "serve_only_decoded", e,
+                f"transmitted data for unit {unit} while holding only "
+                f"{self.units.get(e.node, 0):g} decoded unit(s)",
+            )
+
+    def _on_unit_complete(self, e: TraceEvent) -> None:
+        if e.node is None or "unit" not in e.detail:
+            return
+        unit = int(e.detail["unit"])
+        self.report.checked["pages_sequential"] += 1
+        expected = self.expected_unit.get(e.node, 0)
+        if unit != expected:
+            self._violate(
+                "pages_sequential", e,
+                f"completed unit {unit}, expected unit {expected}",
+            )
+        self.expected_unit[e.node] = unit + 1
+        prev = self.units.get(e.node, 0)
+        self.units[e.node] = max(prev, unit + 1)
+
+    def _on_node_complete(self, e: TraceEvent) -> None:
+        if e.node is None or "total" not in e.detail:
+            return
+        self.report.checked["complete_means_all_pages"] += 1
+        total = int(e.detail["total"])
+        have = self.units.get(e.node, 0)
+        if have < total:
+            self._violate(
+                "complete_means_all_pages", e,
+                f"declared complete with {have:g}/{total} units decoded",
+            )
+
+    def _on_reboot(self, e: TraceEvent) -> None:
+        if e.node is None:
+            return
+        resume = int(e.detail.get("resume_unit", 0))
+        if not self.is_base.get(e.node, False):
+            self.units[e.node] = resume
+            self.expected_unit[e.node] = resume
+        self._drop_tracker_state(e.node)
+
+    def _on_crash(self, e: TraceEvent) -> None:
+        if e.node is not None:
+            self._drop_tracker_state(e.node)
+
+    def _on_version_adopted(self, e: TraceEvent) -> None:
+        if e.node is None:
+            return
+        if not self.is_base.get(e.node, False):
+            self.units[e.node] = 0
+            self.expected_unit[e.node] = 0
+        self._drop_tracker_state(e.node)
+
+    def _drop_tracker_state(self, node: int) -> None:
+        # Crash / new version wipes the TX service dict; stale distance
+        # baselines must not chain across the reset.
+        for key in [k for k in self.last_distances if k[0] == node]:
+            del self.last_distances[key]
+
+    # -- driver ---------------------------------------------------------------
+
+    _HANDLERS = {
+        "flight_meta": _on_meta,
+        "pkt_auth_ok": _on_auth_ok,
+        "pkt_buffered": _on_buffered,
+        "tracker_snapshot": _on_tracker,
+        "link_tx": _on_link_tx,
+        "unit_complete": _on_unit_complete,
+        "node_complete": _on_node_complete,
+        "fault_reboot": _on_reboot,
+        "fault_crash": _on_crash,
+        "version_adopted": _on_version_adopted,
+    }
+
+    def run(self, events: Iterable[TraceEvent]) -> InvariantReport:
+        for event in events:
+            self.report.events_seen += 1
+            handler = self._HANDLERS.get(event.kind)
+            if handler is not None:
+                handler(self, event)
+        return self.report
+
+
+def check_events(
+    events: Union[EventLog, Iterable[TraceEvent]],
+) -> InvariantReport:
+    """Check the invariant library against an in-memory trace."""
+    if isinstance(events, EventLog):
+        events = events.events
+    return _Checker().run(events)
+
+
+def check_jsonl(path: Union[str, Path]) -> InvariantReport:
+    """Check the invariant library against an archived JSONL trace."""
+    _header, events = load_jsonl(path)
+    return _Checker().run(events)

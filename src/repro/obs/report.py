@@ -19,6 +19,7 @@ __all__ = [
     "diff_report",
     "trace_summary",
     "run_perf_smoke",
+    "bench_compare",
 ]
 
 
@@ -58,6 +59,12 @@ def manifest_summary(manifest: RunManifest, top: int = 25) -> str:
     if manifest.unregistered_metrics:
         lines.append(
             "unregistered counters: " + ", ".join(manifest.unregistered_metrics)
+        )
+    dropped = int(manifest.counters.get("trace_dropped", 0)) if manifest.counters else 0
+    if dropped:
+        lines.append(
+            f"WARNING: {dropped} trace records dropped by the ring buffer "
+            "(trace is truncated)"
         )
     if manifest.counters:
         ranked = sorted(manifest.counters.items(), key=lambda kv: (-kv[1], kv[0]))
@@ -135,7 +142,9 @@ def trace_summary(path: Union[str, Path]) -> str:
         rows.append([kind, count, n_spans, round(mean, 3)])
     title = (
         f"{header.get('events', len(events))} events "
-        f"({header.get('dropped', 0)} dropped), schema v{header.get('schema_version')}"
+        f"({header.get('dropped', 0)} dropped, "
+        f"{header.get('open_spans_flushed', 0)} open spans flushed), "
+        f"schema v{header.get('schema_version')}"
     )
     return format_table(["kind", "events", "spans", "mean_span_s"], rows,
                         title=title)
@@ -149,6 +158,7 @@ def run_perf_smoke(
     seed: int = 1,
     receivers: int = 8,
     image_kib: int = 4,
+    repeats: int = 1,
 ) -> Tuple[Dict[str, Any], str]:
     """Run a small profiled dissemination and write ``BENCH_sim_core.json``.
 
@@ -156,6 +166,10 @@ def run_perf_smoke(
     event-loop profiler and structured tracing enabled, summarised into a
     benchmark JSON (events/sec, handler attribution) plus optional manifest
     and trace artifacts.  Returns ``(bench_dict, profile_report_text)``.
+
+    ``repeats > 1`` runs the identical (deterministic) scenario several times
+    and reports the *median* events/sec, damping CI-runner noise; the
+    profile, manifest, and trace artifacts come from the last repeat.
     """
     from repro.experiments.reporting import stopwatch
     from repro.experiments.scenarios import OneHopScenario, run_one_hop
@@ -164,18 +178,29 @@ def run_perf_smoke(
     from repro.sim.engine import Simulator
     from repro.sim.trace import TraceRecorder
 
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
     scenario = OneHopScenario(
         protocol="lr-seluge", loss_rate=0.1, receivers=receivers,
         image_size=image_kib * 1024, k=8, n=12, seed=seed,
     )
-    sim = Simulator()
-    profiler = LoopProfiler()
-    sim.set_profiler(profiler)
-    log = EventLog()
-    trace = TraceRecorder(sink=log)
-    with stopwatch() as elapsed:
-        result = run_one_hop(scenario, sim=sim, trace=trace)
-    wall_s = elapsed()
+    wall_samples: List[float] = []
+    for _ in range(repeats):
+        sim = Simulator()
+        profiler = LoopProfiler()
+        sim.set_profiler(profiler)
+        log = EventLog()
+        trace = TraceRecorder(sink=log)
+        with stopwatch() as elapsed:
+            result = run_one_hop(scenario, sim=sim, trace=trace)
+        wall_samples.append(elapsed())
+    wall_s = wall_samples[-1]
+    ordered = sorted(wall_samples)
+    mid = len(ordered) // 2
+    median_wall = (
+        ordered[mid] if len(ordered) % 2
+        else (ordered[mid - 1] + ordered[mid]) / 2.0
+    )
     log.flush_open_spans(sim.now)
 
     trace_file: Optional[str] = None
@@ -211,7 +236,10 @@ def run_perf_smoke(
         "events": sim.processed_events,
         "sim_time_s": sim.now,
         "wall_s": round(wall_s, 6),
-        "events_per_s": round(sim.processed_events / wall_s, 1) if wall_s else 0.0,
+        "events_per_s": round(sim.processed_events / median_wall, 1)
+        if median_wall else 0.0,
+        "repeats": repeats,
+        "wall_samples_s": [round(w, 6) for w in wall_samples],
         "heap": heap,
         "handler_wall_s": profile["handler_wall_s"],
         "top_handlers": profile["handlers"][:5],
@@ -221,3 +249,47 @@ def run_perf_smoke(
 
     atomic_write_text(Path(bench_out), json.dumps(bench, indent=2) + "\n")
     return bench, profiler.report()
+
+
+def bench_compare(
+    current: Union[str, Path, Dict[str, Any]],
+    baseline: Union[str, Path, Dict[str, Any]],
+    tolerance: float = 0.25,
+) -> Tuple[bool, str]:
+    """Gate a perf-smoke run against a committed baseline.
+
+    Compares the (median) ``events_per_s`` throughput; returns
+    ``(ok, report_text)`` where ``ok`` is False when the current run is more
+    than ``tolerance`` (default 25%) *slower* than the baseline.  Speedups
+    never fail — the committed baseline is a floor, not a pin.
+    """
+    def _load(source: Union[str, Path, Dict[str, Any]]) -> Dict[str, Any]:
+        if isinstance(source, dict):
+            return source
+        return json.loads(Path(source).read_text(encoding="utf-8"))
+
+    cur = _load(current)
+    base = _load(baseline)
+    cur_eps = float(cur.get("events_per_s", 0.0))
+    base_eps = float(base.get("events_per_s", 0.0))
+    lines = [
+        f"baseline: {base_eps:,.0f} events/s "
+        f"(rev {base.get('git_rev') or '?'}, {base.get('created_utc', '?')})",
+        f"current:  {cur_eps:,.0f} events/s "
+        f"(rev {cur.get('git_rev') or '?'}, {cur.get('created_utc', '?')})",
+    ]
+    if cur.get("events") != base.get("events"):
+        lines.append(
+            f"note: event counts differ ({base.get('events')} -> "
+            f"{cur.get('events')}); the workload changed, throughput is "
+            "only loosely comparable"
+        )
+    if base_eps <= 0:
+        lines.append("baseline has no throughput sample; skipping gate")
+        return True, "\n".join(lines)
+    ratio = cur_eps / base_eps
+    lines.append(f"ratio:    {ratio:.3f} (gate: >= {1.0 - tolerance:.2f})")
+    ok = ratio >= (1.0 - tolerance)
+    lines.append("PASS" if ok else
+                 f"FAIL: regression exceeds {tolerance:.0%} of baseline")
+    return ok, "\n".join(lines)

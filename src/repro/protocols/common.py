@@ -75,6 +75,10 @@ class TxPolicy(abc.ABC):
     def mark_sent(self, index: int) -> None:
         """Account for a transmission of ``index`` (ours or overheard)."""
 
+    def snapshot(self) -> Optional[Dict[str, object]]:
+        """Introspection view for the flight recorder; None = opaque policy."""
+        return None
+
 
 class DisseminationNode(NetworkNode):
     """One protocol participant (sensor node or base station)."""
@@ -172,6 +176,10 @@ class DisseminationNode(NetworkNode):
 
     def start(self) -> None:
         """Begin operating; the base station also pushes the signature packet."""
+        if self.trace.flight is not None:
+            self.trace.flight.on_meta(self.sim.now, self.node_id,
+                                      self.protocol.value, self.is_base,
+                                      self.total_units, self.pipeline.secured)
         self.trickle.start()
         if not self.is_base and not self.complete:
             self.trace.span_begin(self.sim.now, "span_disseminate", self.node_id)
@@ -561,12 +569,19 @@ class DisseminationNode(NetworkNode):
             return
         acceptable_index = self._acceptable_index(pkt)
         authentic = False
+        flight = self.trace.flight
         if not self.complete and pkt.unit == self.units_complete and acceptable_index:
             buffered = self._rx_buffer.get(pkt.index)
             if buffered is not None:
                 authentic = buffered == pkt
+                if authentic and flight is not None:
+                    flight.on_duplicate(self.sim.now, self.node_id, sender,
+                                        pkt.version, pkt.unit, pkt.index)
             elif self.pipeline.authenticate(pkt):
                 authentic = True
+                if flight is not None:
+                    flight.on_auth_ok(self.sim.now, self.node_id, sender,
+                                      pkt.version, pkt.unit, pkt.index)
                 if not self._rx_buffer:
                     # First buffered packet of this page: open its assembly
                     # span (first packet -> verified decode).
@@ -574,16 +589,25 @@ class DisseminationNode(NetworkNode):
                                           self.node_id, key=pkt.unit,
                                           unit=pkt.unit)
                 self._rx_buffer[pkt.index] = pkt
+                if flight is not None:
+                    flight.on_buffered(self.sim.now, self.node_id, sender,
+                                       pkt.version, pkt.unit, pkt.index)
                 self._request_tries = 0
                 if self._request_timer.armed:
                     self._request_timer.start(self.timing.request_timeout)
                 self._try_complete_unit()
             else:
                 self.trace.count("data_rejected")
+                if flight is not None:
+                    flight.on_auth_drop(self.sim.now, self.node_id, sender,
+                                        pkt.version, pkt.unit, pkt.index)
         elif acceptable_index:
             # Not the unit we are collecting: a cheap authenticity check
             # decides whether this packet may influence our timers at all.
             authentic = self.pipeline.validate_overheard(pkt)
+            if not authentic and self.pipeline.secured and flight is not None:
+                flight.on_auth_drop(self.sim.now, self.node_id, sender,
+                                    pkt.version, pkt.unit, pkt.index)
 
         if not authentic:
             if not self.complete:
@@ -600,6 +624,10 @@ class DisseminationNode(NetworkNode):
         if policy is not None:
             policy.mark_sent(pkt.index)
             self.trace.count("data_suppressed")
+            if flight is not None:
+                flight.on_tracker(self.sim.now, self.node_id, pkt.unit,
+                                  "overheard", policy.snapshot(),
+                                  index=pkt.index)
         if not self.complete:
             self._maybe_schedule_request()
 
@@ -651,7 +679,8 @@ class DisseminationNode(NetworkNode):
         if total is not None and self.units_complete >= total:
             self.complete = True
             self.completion_time = self.sim.now
-            self.trace.record(self.sim.now, "node_complete", self.node_id)
+            self.trace.record(self.sim.now, "node_complete", self.node_id,
+                              total=total)
             self.trace.span_end(self.sim.now, "span_disseminate", self.node_id)
             if self.on_complete is not None:
                 self.on_complete(self)
@@ -688,6 +717,10 @@ class DisseminationNode(NetworkNode):
             self.trace.span_begin(self.sim.now, "span_serve", self.node_id,
                                   key=request.unit, unit=request.unit)
         policy.on_snack(sender, request.needed)
+        if self.trace.flight is not None:
+            self.trace.flight.on_tracker(self.sim.now, self.node_id,
+                                         request.unit, "snack",
+                                         policy.snapshot(), requester=sender)
         if not self._tx_timer.armed:
             self._tx_timer.start(self.timing.tx_aggregation_delay)
 
@@ -750,6 +783,9 @@ class DisseminationNode(NetworkNode):
             return
         frame_size = self._transmit_unit_packet(unit, index)
         policy.mark_sent(index)
+        if self.trace.flight is not None:
+            self.trace.flight.on_tracker(self.sim.now, self.node_id, unit,
+                                         "sent", policy.snapshot(), index=index)
         self._last_served_unit = unit
         self._tx_timer.start(self.radio.config.airtime(frame_size) + self.timing.tx_gap)
 

@@ -43,6 +43,9 @@ class UnionPolicy(TxPolicy):
     def mark_sent(self, index: int) -> None:
         self._sched.mark_sent(index)
 
+    def snapshot(self) -> Optional[dict]:
+        return self._sched.snapshot()
+
 
 class DelugeNode(DisseminationNode):
     """A Deluge participant."""

@@ -53,6 +53,9 @@ class TrackingPolicy(TxPolicy):
     def mark_sent(self, index: int) -> None:
         self.table.mark_sent(index)
 
+    def snapshot(self) -> Optional[dict]:
+        return self.table.snapshot()
+
 
 class LRSelugeNode(DisseminationNode):
     """An LR-Seluge participant.

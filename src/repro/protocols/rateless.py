@@ -124,6 +124,9 @@ class FreshPolicy(TxPolicy):
     def mark_sent(self, index: int) -> None:
         self._sched.mark_sent(index)
 
+    def snapshot(self) -> Optional[dict]:
+        return self._sched.snapshot()
+
 
 class RatelessDelugeNode(DisseminationNode):
     """A Rateless-Deluge participant."""

@@ -33,6 +33,8 @@ class SelugeNode(DisseminationNode):
     protocol = ProtocolName.SELUGE
 
     def make_tx_policy(self, unit: int) -> TxPolicy:
+        # Seluge keeps Deluge's request-union ARQ, so flight-recorder
+        # tracker_snapshot events for Seluge nodes carry UnionPolicy state.
         n_packets, _ = self.pipeline.geometry(unit)
         return UnionPolicy(n_packets)
 

@@ -7,7 +7,7 @@ code reads the counters afterwards.  Recording full trace entries is optional
 The recorder is a thin façade over a typed :class:`~repro.obs.registry.
 MetricsRegistry`: :attr:`TraceRecorder.counters` *is* the registry's counter
 store, so the hot path stays a single dict update while every counter name
-can be resolved to its declared spec (kind, unit, help) for reports.  Two
+can be resolved to its declared spec (kind, unit, help) for reports.  Three
 optional extensions hang off it:
 
 * ``max_records`` bounds the in-memory record list as a ring buffer —
@@ -16,6 +16,9 @@ optional extensions hang off it:
   (:class:`repro.obs.events.EventLog`-shaped) and enables
   :meth:`span_begin`/:meth:`span_end` for packet/page lifecycle spans; with
   no sink both span calls are near-free no-ops.
+* ``flight`` attaches a :class:`FlightSink`-shaped flight recorder
+  (per-link accounting, tracker snapshots); instrumented call sites in the
+  radio and protocol layers check ``trace.flight is not None`` themselves.
 """
 
 from __future__ import annotations
@@ -26,7 +29,52 @@ from typing import Any, Deque, Dict, List, Optional, Protocol, Tuple, Union
 
 from repro.obs.registry import MetricsRegistry
 
-__all__ = ["TraceRecord", "TraceRecorder", "TraceSink"]
+__all__ = ["TraceRecord", "TraceRecorder", "TraceSink", "FlightSink"]
+
+
+class FlightSink(Protocol):
+    """Structural interface of a flight recorder attachment.
+
+    :class:`repro.obs.flight.FlightRecorder` satisfies this; hot-path call
+    sites (radio delivery, data authentication, TX pump) guard each hook
+    behind ``trace.flight is not None`` so a run without flight recording
+    pays one attribute test per site.  Implementations must write only to
+    their own sink — never to the recorder's counters — to preserve the
+    byte-identical-run contract.
+    """
+
+    def observe_radio(self, radio: Any) -> None: ...
+
+    def on_tx(self, ts: float, sender: int, kind: str, size: int,
+              unit: Optional[int] = None) -> None: ...
+
+    def on_rx(self, ts: float, src: int, dst: int, kind: str,
+              unit: Optional[int] = None) -> None: ...
+
+    def on_loss(self, ts: float, src: int, dst: int, cause: str,
+                kind: str) -> None: ...
+
+    def on_meta(self, ts: float, node: int, protocol: str, is_base: bool,
+                total_units: Optional[int], secured: bool) -> None: ...
+
+    def on_auth_ok(self, ts: float, node: int, src: int, version: int,
+                   unit: int, index: int) -> None: ...
+
+    def on_buffered(self, ts: float, node: int, src: int, version: int,
+                    unit: int, index: int) -> None: ...
+
+    def on_auth_drop(self, ts: float, node: int, src: int, version: int,
+                     unit: int, index: int) -> None: ...
+
+    def on_duplicate(self, ts: float, node: int, src: int, version: int,
+                     unit: int, index: int) -> None: ...
+
+    def on_tracker(self, ts: float, node: int, unit: int, trigger: str,
+                   state: Optional[Dict[str, Any]],
+                   requester: Optional[int] = None,
+                   index: Optional[int] = None) -> None: ...
+
+    def finalize(self, ts: float) -> None: ...
 
 
 class TraceSink(Protocol):
@@ -72,6 +120,7 @@ class TraceRecorder:
         max_records: Optional[int] = None,
         sink: Optional[TraceSink] = None,
         registry: Optional[MetricsRegistry] = None,
+        flight: Optional[FlightSink] = None,
     ) -> None:
         if max_records is not None and max_records < 1:
             raise ValueError(f"max_records must be >= 1, got {max_records}")
@@ -89,6 +138,9 @@ class TraceRecorder:
             [] if max_records is None else deque(maxlen=max_records)
         )
         self.sink = sink
+        # Optional flight recorder: instrumented call sites check for None
+        # themselves so the disabled path costs one attribute read.
+        self.flight = flight
         self._marks: Dict[str, float] = {}
 
     def count(self, name: str, amount: int = 1) -> None:

@@ -31,6 +31,17 @@ timings for later diffing with ``python -m repro.obs report --diff``::
 
     python -m repro.simulate --protocol lr-seluge --image-kib 4 --k 8 --n 12 \\
         --profile --trace-out run.trace.jsonl --manifest run.manifest.json
+
+``--flight-record`` additionally attaches the protocol flight recorder
+(per-link tx/rx/loss/auth-drop accounting, tracking-table snapshots, hop
+topology) so the archived trace can be replayed through
+``python -m repro.obs check-invariants`` and reduced with
+``python -m repro.obs analyze``::
+
+    python -m repro.simulate --protocol lr-seluge --image-kib 4 --k 8 --n 12 \\
+        --flight-record --trace-out run.trace.jsonl
+    python -m repro.obs check-invariants run.trace.jsonl
+    python -m repro.obs analyze run.trace.jsonl --out analysis.json
 """
 
 from __future__ import annotations
@@ -112,6 +123,11 @@ def _build_parser() -> argparse.ArgumentParser:
     obs.add_argument("--manifest", default=None, metavar="MANIFEST.json",
                      help="write a run manifest (seed, config, git rev, "
                           "counters, timings)")
+    obs.add_argument("--flight-record", action="store_true",
+                     help="attach the protocol flight recorder (per-link "
+                          "accounting, tracker snapshots) to the trace; "
+                          "implies structured tracing and feeds "
+                          "`python -m repro.obs check-invariants/analyze`")
     return parser
 
 
@@ -181,10 +197,14 @@ def main(argv=None) -> int:
 
     sim = Simulator()
     log = None
-    if args.trace_out or args.chrome_trace:
+    if args.trace_out or args.chrome_trace or args.flight_record:
         from repro.obs.events import EventLog
         log = EventLog()
-    trace = TraceRecorder(sink=log)
+    flight = None
+    if args.flight_record:
+        from repro.obs.flight import FlightRecorder
+        flight = FlightRecorder(log)
+    trace = TraceRecorder(sink=log, flight=flight)
     profiler = None
     if args.profile:
         from repro.obs.profile import LoopProfiler
@@ -237,6 +257,10 @@ def main(argv=None) -> int:
         for key, value in report.breakdown().items():
             print(f"  {key:10s} {value:.1f}")
 
+    if flight is not None:
+        # Topology map + per-link accounting summary land in the trace
+        # before it is flushed and written.
+        flight.finalize(sim.now)
     if log is not None:
         log.flush_open_spans(sim.now)
         if args.trace_out:

@@ -1,0 +1,42 @@
+"""Shared fixtures for observability tests: flight-recorded smoke runs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.scenarios import OneHopScenario, run_one_hop
+from repro.obs.events import EventLog
+from repro.obs.flight import FlightRecorder
+from repro.sim.engine import Simulator
+from repro.sim.trace import TraceRecorder
+
+
+class FlightRun:
+    """One finished flight-recorded one-hop dissemination."""
+
+    def __init__(self, result, log, flight, sim, trace):
+        self.result = result
+        self.log = log
+        self.flight = flight
+        self.sim = sim
+        self.trace = trace
+
+
+def run_flight(protocol="lr-seluge", receivers=3, loss=0.1, seed=5,
+               image_size=3000, k=8, n=12, max_time=3600.0) -> FlightRun:
+    sim = Simulator()
+    log = EventLog()
+    flight = FlightRecorder(log)
+    trace = TraceRecorder(sink=log, flight=flight)
+    result = run_one_hop(OneHopScenario(
+        protocol=protocol, loss_rate=loss, receivers=receivers,
+        image_size=image_size, k=k, n=n, seed=seed, max_time=max_time,
+    ), sim=sim, trace=trace)
+    flight.finalize(sim.now)
+    log.flush_open_spans(sim.now)
+    return FlightRun(result, log, flight, sim, trace)
+
+
+@pytest.fixture
+def flight_run():
+    return run_flight

@@ -162,3 +162,14 @@ def test_of_kind_and_spans_queries():
     assert [e.kind for e in log.of_kind("tx_data")] == ["tx_data"]
     assert len(log.spans()) == 1
     assert log.spans("span_disseminate") == []
+
+
+def test_header_counts_flushed_open_spans():
+    log = EventLog()
+    log.begin(1.0, "span_page", node=1, key=0)
+    assert log.header()["open_spans_flushed"] == 0
+    assert log.flush_open_spans(3.0) == 1
+    header = log.header()
+    assert header["open_spans_flushed"] == 1
+    (span,) = log.spans("span_page")
+    assert span.detail["open"] is True

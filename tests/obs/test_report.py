@@ -2,9 +2,12 @@
 
 import json
 
+import pytest
+
 from repro.obs.events import EventLog
 from repro.obs.manifest import RunManifest
 from repro.obs.report import (
+    bench_compare,
     diff_report,
     manifest_summary,
     run_perf_smoke,
@@ -104,3 +107,71 @@ def test_run_perf_smoke_writes_all_artifacts(tmp_path):
     assert header["events"] == len(events) > 0
     chrome = json.loads(chrome_path.read_text())
     assert any(e["ph"] == "X" for e in chrome["traceEvents"])
+
+
+def test_manifest_summary_warns_about_dropped_trace_records():
+    text = manifest_summary(_manifest(counters={"trace_dropped": 7}))
+    assert "WARNING: 7 trace records dropped" in text
+    clean = manifest_summary(_manifest())
+    assert "WARNING" not in clean
+
+
+def test_trace_summary_reports_flushed_open_spans(tmp_path):
+    log = EventLog()
+    log.begin(1.0, "span_page", node=1, key=0)
+    log.flush_open_spans(5.0)
+    path = tmp_path / "run.trace.jsonl"
+    log.write_jsonl(path)
+    text = trace_summary(path)
+    assert "1 open spans flushed" in text
+
+
+def test_run_perf_smoke_repeats_report_the_median(tmp_path):
+    bench_path = tmp_path / "BENCH.json"
+    bench, _report = run_perf_smoke(bench_path, seed=1, receivers=2,
+                                    image_kib=2, repeats=3)
+    assert bench["repeats"] == 3
+    assert len(bench["wall_samples_s"]) == 3
+    # wall_samples_s is rounded for the artifact; events_per_s comes from
+    # the unrounded median, so compare within rounding noise.
+    median = sorted(bench["wall_samples_s"])[1]
+    assert bench["events_per_s"] == pytest.approx(
+        bench["events"] / median, rel=1e-3)
+
+
+def test_bench_compare_gates_on_regression():
+    base = {"events_per_s": 1000.0, "events": 500, "git_rev": "aaa"}
+    same = {"events_per_s": 990.0, "events": 500, "git_rev": "bbb"}
+    ok, text = bench_compare(same, base)
+    assert ok and "PASS" in text
+
+    slow = {"events_per_s": 700.0, "events": 500}
+    ok, text = bench_compare(slow, base)
+    assert not ok and "FAIL" in text
+
+    # Speedups never fail: the baseline is a floor, not a pin.
+    fast = {"events_per_s": 5000.0, "events": 500}
+    ok, _ = bench_compare(fast, base)
+    assert ok
+
+    # Tolerance is adjustable.
+    ok, _ = bench_compare(slow, base, tolerance=0.5)
+    assert ok
+
+
+def test_bench_compare_notes_workload_changes_and_empty_baselines(tmp_path):
+    base = {"events_per_s": 1000.0, "events": 500}
+    changed = {"events_per_s": 900.0, "events": 800}
+    ok, text = bench_compare(changed, base)
+    assert ok and "workload changed" in text
+
+    ok, text = bench_compare(changed, {"events_per_s": 0.0})
+    assert ok and "skipping gate" in text
+
+    # File inputs round-trip like dicts do.
+    cur_path = tmp_path / "cur.json"
+    base_path = tmp_path / "base.json"
+    cur_path.write_text(json.dumps(changed))
+    base_path.write_text(json.dumps(base))
+    ok, text = bench_compare(cur_path, base_path)
+    assert ok and "ratio:" in text

@@ -621,6 +621,72 @@ def test_rep011_is_inert_without_a_vocabulary():
 
 
 # ---------------------------------------------------------------------------
+# REP013 — non-event-trace-kind
+# ---------------------------------------------------------------------------
+
+def test_rep013_flags_counter_kinds_in_record():
+    findings = run_with_vocab(
+        """
+        def on_data(self, pkt):
+            self.trace.record(self.now, "tx_data", node=1)
+        """
+    )
+    assert "REP013" in codes(findings)
+    assert "REP011" not in codes(findings)  # known name: not REP011's problem
+
+
+def test_rep013_checks_span_calls_and_allows_event_kinds():
+    findings = run_with_vocab(
+        """
+        def on_data(trace, now):
+            trace.span_begin(now, "tx_data", node=1, key=0)
+            trace.span_end(now, kind="span_page", node=1, key=0)
+            trace.record(now, "span_page", node=1)
+        """
+    )
+    assert codes(findings).count("REP013") == 1  # only the span_begin
+
+
+def test_rep013_leaves_unknown_and_dynamic_kinds_to_rep011():
+    findings = run_with_vocab(
+        """
+        def on_data(self, unit):
+            self.trace.record(self.now, "tx_datas", node=1)
+            self.trace.record(self.now, "tx_data_unit_3", node=1)
+        """
+    )
+    # The typo is REP011's finding; the dynamic family has no declared kind.
+    assert "REP013" not in codes(findings)
+    assert "REP011" in codes(findings)
+
+
+def test_rep013_ignores_counter_calls_and_tests():
+    source = """
+        def on_data(self):
+            self.trace.count("tx_data")
+    """
+    assert codes(run_with_vocab(source)) == []
+    flagged = """
+        def on_data(self):
+            self.trace.record(0.0, "tx_data", node=1)
+    """
+    assert codes(run_with_vocab(flagged, relpath="tests/test_mod.py")) == []
+    assert codes(
+        run_with_vocab(flagged, relpath="src/repro/obs/catalog.py")
+    ) == []
+
+
+def test_rep013_is_inert_without_a_vocabulary():
+    findings = run(
+        """
+        def on_data(trace):
+            trace.record(0.0, "tx_data", node=1)
+        """
+    )
+    assert codes(findings) == []
+
+
+# ---------------------------------------------------------------------------
 # REP012 — unsanctioned-artifact-write
 # ---------------------------------------------------------------------------
 

@@ -222,6 +222,23 @@ RULES: Tuple[Rule, ...] = (
             "is REP005's territory; this rule only covers the write path.)"
         ),
     ),
+    Rule(
+        code="REP013",
+        name="non-event-trace-kind",
+        severity=Severity.ERROR,
+        summary="trace.record()/span_begin()/span_end() kinds must be "
+                "declared kind=\"event\" in the catalogue",
+        rationale=(
+            "Structured-event call sites and plain counters share one "
+            "namespace, but only kinds declared as events in src/repro/obs/"
+            "catalog.py are meant to appear in the schema-versioned trace: "
+            "the invariant checker and flight-trace analyzer dispatch on "
+            "event kinds, and a counter-kind name smuggled through "
+            "trace.record() would produce trace entries no offline tool "
+            "recognises. Counters belong in trace.count(); events must be "
+            "catalogued with kind=\"event\"."
+        ),
+    ),
 )
 
 RULES_BY_CODE = {rule.code: rule for rule in RULES}

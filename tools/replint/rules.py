@@ -13,8 +13,8 @@ spellings at review time.
 from __future__ import annotations
 
 import ast
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from replint.finding import Finding, RULES_BY_CODE, make_finding
 
@@ -33,14 +33,37 @@ class MetricVocabulary:
 
     Loaded *syntactically* (replint never imports analysed code): every
     string-literal first argument of a ``MetricSpec(...)`` call plus the
-    literal entries of ``DYNAMIC_METRIC_PREFIXES``.
+    literal entries of ``DYNAMIC_METRIC_PREFIXES``.  ``kinds`` maps each
+    declared name to its metric kind (second ``MetricSpec`` argument,
+    default ``"counter"``) so REP013 can tell events from plain counters.
     """
 
     names: frozenset
     prefixes: Tuple[str, ...]
+    kinds: Mapping[str, str] = field(default_factory=dict)
 
     def known(self, name: str) -> bool:
         return name in self.names or name.startswith(self.prefixes)
+
+    def declared_kind(self, name: str) -> Optional[str]:
+        """The catalogued metric kind of ``name``; None when undeclared or
+        declared with a non-literal kind (then REP013 stays silent)."""
+        return self.kinds.get(name)
+
+
+def _metric_spec_kind(node: ast.Call) -> Optional[str]:
+    """The literal ``kind`` of one ``MetricSpec(...)`` call, if decidable."""
+    if len(node.args) > 1:
+        arg = node.args[1]
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            return arg.value
+        return None  # computed kind: undecidable syntactically
+    for kw in node.keywords:
+        if kw.arg == "kind":
+            if isinstance(kw.value, ast.Constant) and isinstance(kw.value.value, str):
+                return kw.value.value
+            return None
+    return "counter"  # MetricSpec's declared default
 
 
 def load_vocabulary(catalog_source: str) -> MetricVocabulary:
@@ -48,6 +71,7 @@ def load_vocabulary(catalog_source: str) -> MetricVocabulary:
     tree = ast.parse(catalog_source)
     names: Set[str] = set()
     prefixes: List[str] = []
+    kinds: Dict[str, str] = {}
     for node in ast.walk(tree):
         if isinstance(node, ast.Call):
             callee = _dotted(node.func)
@@ -55,6 +79,9 @@ def load_vocabulary(catalog_source: str) -> MetricVocabulary:
                 if node.args and isinstance(node.args[0], ast.Constant) \
                         and isinstance(node.args[0].value, str):
                     names.add(node.args[0].value)
+                    kind = _metric_spec_kind(node)
+                    if kind is not None:
+                        kinds[node.args[0].value] = kind
         elif isinstance(node, (ast.Assign, ast.AnnAssign)):
             targets = (
                 node.targets if isinstance(node, ast.Assign) else [node.target]
@@ -67,7 +94,8 @@ def load_vocabulary(catalog_source: str) -> MetricVocabulary:
                     el.value for el in node.value.elts
                     if isinstance(el, ast.Constant) and isinstance(el.value, str)
                 )
-    return MetricVocabulary(names=frozenset(names), prefixes=tuple(prefixes))
+    return MetricVocabulary(names=frozenset(names), prefixes=tuple(prefixes),
+                            kinds=kinds)
 
 
 @dataclass
@@ -757,6 +785,63 @@ def check_rep011(tree: ast.AST, ctx: FileContext) -> List[Finding]:
 
 
 # ---------------------------------------------------------------------------
+# REP013 — non-event-trace-kind
+# ---------------------------------------------------------------------------
+
+# Structured-event entry points: their kind lands in the EventLog, so it
+# must be catalogued as kind="event".  trace.count() is the counter path
+# and stays REP011-only.
+_EVENT_METHODS = ("record", "span_begin", "span_end")
+
+
+def check_rep013(tree: ast.AST, ctx: FileContext) -> List[Finding]:
+    """Structured-event kinds must be declared ``kind="event"``.
+
+    Detection mirrors REP011 (same receivers, same literal-kind argument),
+    but instead of unknown names it flags *known* names whose catalogued
+    metric kind is not ``"event"``: a counter name passed to
+    ``trace.record``/``span_begin``/``span_end`` produces trace entries the
+    offline tooling (invariant checker, flight analyzer) never dispatches
+    on.  Unknown names stay REP011's finding — one problem, one code.
+    Names whose declared kind is syntactically undecidable are skipped.
+    """
+    vocab = ctx.vocabulary
+    if vocab is None or ctx.in_tests:
+        return []
+    if ctx.path.endswith("obs/catalog.py"):
+        return []
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call) or not isinstance(
+            node.func, ast.Attribute
+        ):
+            continue
+        method = node.func.attr
+        if method not in _EVENT_METHODS:
+            continue
+        receiver = _dotted(node.func.value)
+        if receiver is None or not (
+            receiver == "trace" or receiver.endswith(".trace")
+        ):
+            continue
+        arg = _metric_kind_arg(node, method)
+        if not isinstance(arg, ast.Constant) or not isinstance(arg.value, str):
+            continue
+        if not vocab.known(arg.value):
+            continue  # REP011's territory
+        declared = vocab.declared_kind(arg.value)
+        if declared is not None and declared != "event":
+            findings.append(_finding(
+                "REP013", ctx, node,
+                f"trace.{method}() kind {arg.value!r} is declared "
+                f'kind="{declared}" in src/repro/obs/catalog.py — '
+                "structured-event call sites need an event-kind entry "
+                "(or use trace.count() for plain counters)",
+            ))
+    return findings
+
+
+# ---------------------------------------------------------------------------
 # REP012 — unsanctioned-artifact-write
 # ---------------------------------------------------------------------------
 
@@ -836,6 +921,7 @@ RULE_CHECKS: Dict[str, Callable[[ast.AST, FileContext], List[Finding]]] = {
     "REP010": check_rep010,
     "REP011": check_rep011,
     "REP012": check_rep012,
+    "REP013": check_rep013,
 }
 
 
