@@ -1,0 +1,45 @@
+"""The composable adversary engine (DESIGN.md §12).
+
+Declarative :class:`AttackPlan`s (JSON-round-trippable, like
+:class:`repro.faults.plan.FaultPlan`) name attackers from a plugin registry;
+an :class:`AttackEngine` deploys them into any scenario's topology and halts
+them the moment every victim completes.
+"""
+
+from repro.attacks.engine import AttackContext, AttackEngine
+from repro.attacks.model import (
+    ATTACK_KINDS,
+    AttackModel,
+    register_attack,
+    resolve_kind,
+)
+from repro.attacks.models import (
+    BogusDataInjector,
+    ControlForger,
+    DenialOfReceiptAttacker,
+    GreyholeRelay,
+    ReactiveJammer,
+    ReplayAttacker,
+    SignatureFlooder,
+    SybilSnackForger,
+)
+from repro.attacks.plan import AttackPlan, AttackSpec
+
+__all__ = [
+    "ATTACK_KINDS",
+    "AttackContext",
+    "AttackEngine",
+    "AttackModel",
+    "AttackPlan",
+    "AttackSpec",
+    "BogusDataInjector",
+    "ControlForger",
+    "DenialOfReceiptAttacker",
+    "GreyholeRelay",
+    "ReactiveJammer",
+    "ReplayAttacker",
+    "SignatureFlooder",
+    "SybilSnackForger",
+    "register_attack",
+    "resolve_kind",
+]

@@ -1,0 +1,172 @@
+"""Declarative attack plans.
+
+An :class:`AttackPlan` is an ordered list of :class:`AttackSpec` records —
+pure data, exactly like :class:`repro.faults.plan.FaultPlan`: building a plan
+performs no simulation work, so plans can be generated, merged, serialised to
+JSON (the ``--attack-plan`` CLI flag), embedded in frozen scenario
+dataclasses (stable campaign task keys), and deployed deterministically by an
+:class:`~repro.attacks.engine.AttackEngine`.
+
+Each spec names an attack *kind* from the plugin registry
+(:data:`repro.attacks.model.ATTACK_KINDS`), its activation window, its firing
+period, and a kind-specific parameter mapping passed to the attack model's
+constructor.  ``position``/``reach`` control where the engine drops the
+attacker into the topology (default: the victim centroid, audible to every
+node within the longest legitimate link distance).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, List, Mapping, Optional, Tuple, Union
+
+from repro.errors import ConfigError
+
+__all__ = ["AttackSpec", "AttackPlan"]
+
+
+def _frozen_params(params: Optional[Mapping[str, object]]) -> Tuple[Tuple[str, object], ...]:
+    if not params:
+        return ()
+    return tuple(sorted(params.items()))
+
+
+@dataclass(frozen=True)
+class AttackSpec:
+    """One attacker: kind, schedule, placement, and model parameters.
+
+    ``params`` is stored as a sorted tuple of ``(name, value)`` pairs so the
+    spec stays hashable and canonicalises deterministically inside frozen
+    scenario dataclasses; :meth:`kwargs` rebuilds the constructor mapping.
+    """
+
+    kind: str
+    start: float = 0.1
+    period: float = 0.5
+    stop: Optional[float] = None
+    position: Optional[Tuple[float, float]] = None
+    reach: Optional[float] = None
+    params: Tuple[Tuple[str, object], ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.kind:
+            raise ConfigError("attack spec needs a kind")
+        if self.start < 0:
+            raise ConfigError(f"attack start must be >= 0, got {self.start}")
+        if self.period <= 0:
+            raise ConfigError(f"attack period must be > 0, got {self.period}")
+        if self.stop is not None and self.stop <= self.start:
+            raise ConfigError(
+                f"attack stop {self.stop} must come after start {self.start}")
+        if self.reach is not None and self.reach <= 0:
+            raise ConfigError(f"attack reach must be > 0, got {self.reach}")
+        if self.position is not None and len(self.position) != 2:
+            raise ConfigError("attack position must be an (x, y) pair")
+        # Normalise a mapping passed by a caller into the canonical tuple form.
+        if isinstance(self.params, Mapping):
+            object.__setattr__(self, "params", _frozen_params(self.params))
+
+    def kwargs(self) -> dict:
+        """The kind-specific constructor keyword arguments."""
+        return dict(self.params)
+
+    # -- serialisation -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        out: dict = {"kind": self.kind, "start": self.start, "period": self.period}
+        if self.stop is not None:
+            out["stop"] = self.stop
+        if self.position is not None:
+            out["position"] = list(self.position)
+        if self.reach is not None:
+            out["reach"] = self.reach
+        if self.params:
+            out["params"] = dict(self.params)
+        return out
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "AttackSpec":
+        if not isinstance(raw, dict) or "kind" not in raw:
+            raise ConfigError(f"attack spec missing kind: {raw!r}")
+        position = raw.get("position")
+        return cls(
+            kind=str(raw["kind"]),
+            start=float(raw.get("start", 0.1)),
+            period=float(raw.get("period", 0.5)),
+            stop=(float(raw["stop"]) if raw.get("stop") is not None else None),
+            position=(tuple(position) if position is not None else None),
+            reach=(float(raw["reach"]) if raw.get("reach") is not None else None),
+            params=_frozen_params(raw.get("params")),
+        )
+
+
+class AttackPlan:
+    """A buildable, mergeable, JSON-round-trippable list of attack specs."""
+
+    def __init__(self, specs: Iterable[AttackSpec] = ()):
+        self._specs: List[AttackSpec] = list(specs)
+
+    # -- building ------------------------------------------------------------
+
+    def add(self, spec: AttackSpec) -> "AttackPlan":
+        self._specs.append(spec)
+        return self
+
+    def attack(self, kind: str, start: float = 0.1, period: float = 0.5,
+               stop: Optional[float] = None,
+               position: Optional[Tuple[float, float]] = None,
+               reach: Optional[float] = None,
+               **params: object) -> "AttackPlan":
+        """Append one attacker of ``kind`` with model parameters ``params``."""
+        return self.add(AttackSpec(
+            kind=kind, start=start, period=period, stop=stop,
+            position=position, reach=reach, params=_frozen_params(params),
+        ))
+
+    def merge(self, other: "AttackPlan") -> "AttackPlan":
+        """A new plan holding this plan's specs followed by ``other``'s."""
+        return AttackPlan(self._specs + other._specs)
+
+    # -- access --------------------------------------------------------------
+
+    @property
+    def specs(self) -> Tuple[AttackSpec, ...]:
+        """All specs in insertion order (one attacker node each)."""
+        return tuple(self._specs)
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __iter__(self) -> Iterator[AttackSpec]:
+        return iter(self._specs)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AttackPlan):
+            return NotImplemented
+        return self.specs == other.specs
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"AttackPlan({len(self._specs)} attackers)"
+
+    # -- serialisation -------------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps({"attacks": [s.to_dict() for s in self._specs]},
+                          indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "AttackPlan":
+        try:
+            raw = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"attack plan is not valid JSON: {exc}")
+        specs = raw.get("attacks") if isinstance(raw, dict) else raw
+        if not isinstance(specs, list):
+            raise ConfigError('attack plan JSON must be {"attacks": [...]} or a list')
+        return cls(AttackSpec.from_dict(s) for s in specs)
+
+    @classmethod
+    def from_json_file(cls, path: Union[str, Path]) -> "AttackPlan":
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))

@@ -68,13 +68,19 @@ class BernoulliLoss(LossModel):
 
 
 class PerLinkLoss(LossModel):
-    """Per-directed-link drop probabilities (from a propagation model)."""
+    """Per-directed-link drop probabilities (from a propagation model).
+
+    Holds a live reference to ``loss_map`` rather than a copy: components
+    that extend the topology after radio construction (the attack engine
+    splicing adversary links into ``Topology.link_loss``) must be visible
+    here, or the new links fall through to ``default`` and go silent.
+    """
 
     def __init__(self, loss_map: Dict[Tuple[int, int], float], default: float = 1.0):
         for link, p in loss_map.items():
             if not 0.0 <= p <= 1.0:
                 raise ConfigError(f"loss probability {p} for link {link} outside [0, 1]")
-        self.loss_map = dict(loss_map)
+        self.loss_map = loss_map
         self.default = default
 
     def should_drop(self, rngs, sender, receiver, frame, time) -> bool:

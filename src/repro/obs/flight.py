@@ -166,9 +166,16 @@ class FlightRecorder:
     def on_tracker(self, ts: float, node: int, unit: int, trigger: str,
                    state: Optional[Dict[str, Any]],
                    requester: Optional[int] = None,
-                   index: Optional[int] = None) -> None:
+                   index: Optional[int] = None,
+                   via: Optional[int] = None) -> None:
         """TX-policy snapshot after a SNACK fold (``trigger="snack"``) or a
-        transmission being accounted (``trigger="sent"``)."""
+        transmission being accounted (``trigger="sent"``).
+
+        ``requester`` is the *claimed* identity folded into the policy;
+        ``via`` the link-layer sender that relayed it — they differ only
+        under Sybil/replay attacks, and the ``quarantine_respected``
+        invariant keys on ``via``.
+        """
         if state is None:
             return  # the policy offers no introspection
         detail: Dict[str, Any] = {"unit": unit, "trigger": trigger}
@@ -176,6 +183,8 @@ class FlightRecorder:
             detail["requester"] = requester
         if index is not None:
             detail["index"] = index
+        if via is not None:
+            detail["via"] = via
         detail.update(state)
         self.sink.instant(ts, "tracker_snapshot", node, detail)
 
@@ -224,3 +233,8 @@ class FlightRecorder:
             (src, dst): self._links[(src, dst)].to_detail(src, dst)
             for (src, dst) in sorted(self._links)
         }
+
+    def tx_frame_counts(self) -> Dict[int, int]:
+        """Frames each node put on the air (per-attacker damage attribution
+        reads an adversary's injected-frame count from here)."""
+        return dict(self._tx_frames)

@@ -39,8 +39,22 @@ Invariant library
     A ``node_complete`` event implies the node decoded every page: its
     tracked unit count equals the event's ``total`` detail.
 
-The first two invariants need a flight-recorded trace (``--flight-record``);
-the last three also work on plain span traces.  Events whose prerequisites
+``quarantine_respected``
+    After a node quarantines a neighbor (``defense_quarantine`` with
+    ``offender``/``until``), no SNACK relayed by that neighbor is folded
+    into the node's TX policy (``tracker_snapshot`` with
+    ``trigger="snack"`` and ``via=offender``) before the quarantine
+    expires: quarantined neighbors are never served.
+
+``replay_never_rebuffered``
+    A node buffers any given packet identity ``(version, unit, index)`` at
+    most once (``pkt_buffered``): a replayed frame may arrive again but must
+    never be re-buffered.  Identities reset on ``version_adopted`` and, for
+    units at or above the flash resume point, on ``fault_reboot``.
+
+The ``auth_before_buffer``/``tracker_monotone``/``quarantine_respected``/
+``replay_never_rebuffered`` invariants need a flight-recorded trace
+(``--flight-record``); the others also work on plain span traces.  Events whose prerequisites
 are absent are skipped, and :attr:`InvariantReport.checked` records how many
 events each invariant actually examined so "vacuously clean" is visible.
 """
@@ -68,6 +82,8 @@ INVARIANTS: Tuple[str, ...] = (
     "serve_only_decoded",
     "pages_sequential",
     "complete_means_all_pages",
+    "quarantine_respected",
+    "replay_never_rebuffered",
 )
 
 
@@ -135,6 +151,10 @@ class _Checker:
         self.authed: Dict[int, Set[Tuple[int, int, int]]] = {}
         # tracker_monotone: last per-neighbor distances per (node, unit)
         self.last_distances: Dict[Tuple[int, int], Dict[int, int]] = {}
+        # quarantine_respected: (node, offender) -> quarantine expiry ts
+        self.quarantines: Dict[Tuple[int, int], float] = {}
+        # replay_never_rebuffered: buffered identities per node
+        self.buffered: Dict[int, Set[Tuple[int, int, int]]] = {}
 
     def _violate(self, invariant: str, event: TraceEvent, message: str) -> None:
         self.report.violations.append(
@@ -162,11 +182,23 @@ class _Checker:
         )
 
     def _on_buffered(self, e: TraceEvent) -> None:
-        if e.node is None or not self.secured.get(e.node, False):
+        if e.node is None:
             return
-        self.report.checked["auth_before_buffer"] += 1
         d = e.detail
         key = (int(d.get("version", 0)), int(d["unit"]), int(d["index"]))
+        self.report.checked["replay_never_rebuffered"] += 1
+        seen = self.buffered.setdefault(e.node, set())
+        if key in seen:
+            self._violate(
+                "replay_never_rebuffered", e,
+                f"re-buffered packet version={key[0]} unit={key[1]} "
+                f"index={key[2]} (a replayed frame must stay a duplicate)",
+            )
+        else:
+            seen.add(key)
+        if not self.secured.get(e.node, False):
+            return
+        self.report.checked["auth_before_buffer"] += 1
         if key not in self.authed.get(e.node, ()):
             self._violate(
                 "auth_before_buffer", e,
@@ -174,8 +206,29 @@ class _Checker:
                 f"index={key[2]} without prior authentication",
             )
 
+    def _on_quarantine(self, e: TraceEvent) -> None:
+        if e.node is None or "offender" not in e.detail:
+            return
+        self.quarantines[(e.node, int(e.detail["offender"]))] = float(
+            e.detail.get("until", math.inf))
+
     def _on_tracker(self, e: TraceEvent) -> None:
-        if e.node is None or "distances" not in e.detail:
+        if e.node is None:
+            return
+        if e.detail.get("trigger") == "snack" and "via" in e.detail:
+            via = int(e.detail["via"])
+            self.report.checked["quarantine_respected"] += 1
+            until = self.quarantines.get((e.node, via))
+            if until is not None:
+                if e.ts < until:
+                    self._violate(
+                        "quarantine_respected", e,
+                        f"folded a SNACK relayed by quarantined neighbor "
+                        f"{via} (quarantine active until t={until:g})",
+                    )
+                else:
+                    del self.quarantines[(e.node, via)]
+        if "distances" not in e.detail:
             return
         d = e.detail
         unit = int(d["unit"])
@@ -249,6 +302,11 @@ class _Checker:
         if not self.is_base.get(e.node, False):
             self.units[e.node] = resume
             self.expected_unit[e.node] = resume
+        # Units at or above the resume point were lost with RAM and will be
+        # received (and buffered) again legitimately.
+        seen = self.buffered.get(e.node)
+        if seen is not None:
+            self.buffered[e.node] = {k for k in seen if k[1] < resume}
         self._drop_tracker_state(e.node)
 
     def _on_crash(self, e: TraceEvent) -> None:
@@ -261,6 +319,7 @@ class _Checker:
         if not self.is_base.get(e.node, False):
             self.units[e.node] = 0
             self.expected_unit[e.node] = 0
+        self.buffered.pop(e.node, None)
         self._drop_tracker_state(e.node)
 
     def _drop_tracker_state(self, node: int) -> None:
@@ -276,6 +335,7 @@ class _Checker:
         "pkt_auth_ok": _on_auth_ok,
         "pkt_buffered": _on_buffered,
         "tracker_snapshot": _on_tracker,
+        "defense_quarantine": _on_quarantine,
         "link_tx": _on_link_tx,
         "unit_complete": _on_unit_complete,
         "node_complete": _on_node_complete,

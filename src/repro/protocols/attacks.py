@@ -1,6 +1,13 @@
 """Adversary nodes for the security experiments (DESIGN.md E8).
 
-Three attacks from the paper's threat discussion:
+.. deprecated:: PR 6
+   The attackers now live in the composable adversary engine
+   :mod:`repro.attacks` (DESIGN.md §12); this module re-exports the four
+   originals for compatibility.  New code should import from
+   ``repro.attacks`` and deploy via :class:`repro.attacks.engine.
+   AttackEngine` / :class:`repro.attacks.plan.AttackPlan`.
+
+Four attacks from the paper's threat discussion:
 
 * :class:`BogusDataInjector` — floods forged data packets for the page its
   victims are currently collecting.  Secure receivers reject each forgery
@@ -9,6 +16,10 @@ Three attacks from the paper's threat discussion:
 * :class:`SignatureFlooder` — floods forged signature packets to provoke
   expensive ECDSA verifications.  The message-specific puzzle filters them
   at one hash each; receivers' ``signature_verifications`` stays at ~1.
+* :class:`ControlForger` — an outsider without the cluster key forging
+  advertisements (luring victims toward a server that never answers) and
+  all-ones SNACKs (making victims transmit).  Control-packet authentication
+  drops every forgery at a single MAC check.
 * :class:`DenialOfReceiptAttacker` — a compromised node that keeps sending
   all-ones SNACKs to one victim to drain its battery.  The optional
   per-neighbor SNACK counter (Section IV-E mitigation) bounds the damage.
@@ -16,16 +27,13 @@ Three attacks from the paper's threat discussion:
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
-
-from repro.core.packets import DataPacket, SignaturePacket, SnackRequest
-from repro.net.node import NetworkNode
-from repro.net.packet import Frame, FrameKind
-from repro.net.radio import Radio
-from repro.sim.engine import Simulator
-from repro.sim.process import PeriodicProcess
-from repro.sim.rng import RngRegistry
-from repro.sim.trace import TraceRecorder
+from repro.attacks.model import AttackModel as _AttackerNode
+from repro.attacks.models import (
+    BogusDataInjector,
+    ControlForger,
+    DenialOfReceiptAttacker,
+    SignatureFlooder,
+)
 
 __all__ = [
     "BogusDataInjector",
@@ -33,171 +41,3 @@ __all__ = [
     "DenialOfReceiptAttacker",
     "ControlForger",
 ]
-
-
-class _AttackerNode(NetworkNode):
-    """Base: a node that transmits attack traffic on a fixed period."""
-
-    def __init__(
-        self,
-        node_id: int,
-        sim: Simulator,
-        radio: Radio,
-        rngs: RngRegistry,
-        trace: TraceRecorder,
-        period: float = 0.5,
-        start_delay: float = 0.1,
-    ):
-        super().__init__(node_id, sim, radio, rngs, trace)
-        self.sent = 0
-        self._process: Optional[PeriodicProcess] = None
-        self._period = period
-        self._start_delay = start_delay
-
-    def start(self) -> None:
-        self._process = PeriodicProcess(
-            self.sim, self._attack_once, self._period, start_delay=self._start_delay
-        )
-
-    def stop(self) -> None:
-        if self._process is not None:
-            self._process.stop()
-
-    def _attack_once(self) -> None:
-        raise NotImplementedError
-
-    def on_receive(self, frame: Frame, sender: int) -> None:
-        # Attackers snoop advertisements to target the current page.
-        if frame.kind is FrameKind.ADV:
-            self._observe_adv(frame.payload, sender)
-
-    def _observe_adv(self, adv, sender: int) -> None:
-        pass
-
-
-class BogusDataInjector(_AttackerNode):
-    """Injects forged data packets for the page victims are collecting."""
-
-    def __init__(self, *args, payload_size: int = 72, version: int = 2, **kwargs):
-        super().__init__(*args, **kwargs)
-        self.payload_size = payload_size
-        self.version = version
-        self._progress: dict = {}
-        self._counter = 0
-
-    def _observe_adv(self, adv, sender: int) -> None:
-        self._progress[sender] = adv.units_complete
-
-    @property
-    def _target_unit(self) -> int:
-        # Victims collect the unit right after what they advertise; aim at
-        # the least-progressed neighborhood member so forgeries hit nodes
-        # actively buffering that unit.
-        if not self._progress:
-            return 0
-        return min(self._progress.values())
-
-    def _attack_once(self) -> None:
-        self._counter += 1
-        forged = DataPacket(
-            version=self.version,
-            unit=self._target_unit,
-            index=self._counter % 64,
-            payload=bytes([self._counter % 251]) * self.payload_size,
-        )
-        size = 11 + self.payload_size
-        self.broadcast(FrameKind.DATA, size, forged)
-        self.sent += 1
-        self.trace.count("attack_bogus_data")
-
-
-class SignatureFlooder(_AttackerNode):
-    """Floods forged signature packets (no valid puzzle solution)."""
-
-    def __init__(self, *args, version: int = 2, **kwargs):
-        super().__init__(*args, **kwargs)
-        self.version = version
-        self._counter = 0
-
-    def _attack_once(self) -> None:
-        self._counter += 1
-        forged = SignaturePacket(
-            version=self.version,
-            root=bytes([self._counter % 251]) * 8,
-            metadata=b"\x00" * 13,
-            signature=bytes(48),
-            puzzle=None,
-        )
-        self.broadcast(FrameKind.SIGNATURE, 88, forged)
-        self.sent += 1
-        self.trace.count("attack_bogus_signature")
-
-
-class ControlForger(_AttackerNode):
-    """An outsider forging control traffic (no cluster key).
-
-    Alternates forged advertisements (claiming to own the whole image, to
-    lure victims into requesting from a server that will never answer) and
-    forged all-ones SNACKs (to make victims transmit).  With control-packet
-    authentication enabled, every one of these is dropped at one MAC check.
-    """
-
-    def __init__(self, *args, version: int = 2, total_units: int = 13,
-                 n_packets: int = 48, **kwargs):
-        super().__init__(*args, **kwargs)
-        self.version = version
-        self.total_units = total_units
-        self.n_packets = n_packets
-        self._victims: set = set()
-        self._counter = 0
-
-    def _observe_adv(self, adv, sender: int) -> None:
-        self._victims.add(sender)
-
-    def _attack_once(self) -> None:
-        from repro.core.packets import Advertisement, SnackRequest
-
-        self._counter += 1
-        if self._counter % 2 == 0 or not self._victims:
-            forged = Advertisement(
-                version=self.version,
-                units_complete=self.total_units,
-                total_units=self.total_units,
-                mac=b"\x00\x00\x00\x00",
-            )
-            self.broadcast(FrameKind.ADV, 20, forged)
-        else:
-            victim = sorted(self._victims)[self._counter % len(self._victims)]
-            forged = SnackRequest(
-                version=self.version, unit=0, requester=self.node_id,
-                server=victim, needed=tuple(range(self.n_packets)),
-                mac=b"\x00\x00\x00\x00",
-            )
-            self.broadcast(FrameKind.SNACK, 21, forged, dest=victim)
-        self.sent += 1
-        self.trace.count("attack_forged_control")
-
-
-class DenialOfReceiptAttacker(_AttackerNode):
-    """A compromised node spamming all-ones SNACKs at one victim."""
-
-    def __init__(self, *args, victim: int, unit: int = 2, n_packets: int = 48,
-                 version: int = 2, **kwargs):
-        super().__init__(*args, **kwargs)
-        self.victim = victim
-        self.unit = unit
-        self.n_packets = n_packets
-        self.version = version
-
-    def _attack_once(self) -> None:
-        request = SnackRequest(
-            version=self.version,
-            unit=self.unit,
-            requester=self.node_id,
-            server=self.victim,
-            needed=tuple(range(self.n_packets)),
-        )
-        size = 11 + 4 + (self.n_packets + 7) // 8
-        self.broadcast(FrameKind.SNACK, size, request, dest=self.victim)
-        self.sent += 1
-        self.trace.count("attack_dor_snack")

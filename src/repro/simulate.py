@@ -112,6 +112,19 @@ def _build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--churn-horizon", type=float, default=None,
                         help="stop generating stochastic faults after this "
                              "time (default: max-time / 2)")
+    adv = parser.add_argument_group("adversaries and hardening")
+    adv.add_argument("--attack", action="append", default=None, metavar="KIND",
+                     help="deploy an attacker: a preset name from the "
+                          "resilience scorecard (jammer, greyhole, replay, "
+                          "sybil, dor, bogus-data) or a raw attack kind "
+                          "(e.g. reactive-jammer); repeatable")
+    adv.add_argument("--attack-plan", default=None, metavar="PLAN.json",
+                     help="deploy a declarative AttackPlan JSON file "
+                          "(composes with --attack)")
+    adv.add_argument("--defense", default=None, metavar="FLAGS",
+                     help='protocol hardening flags: "all", "none", or a '
+                          'comma list of rate_limit, backoff, replay_filter, '
+                          "stall_watchdog")
     obs = parser.add_argument_group("observability")
     obs.add_argument("--profile", action="store_true",
                      help="attach the event-loop profiler and print the "
@@ -168,6 +181,48 @@ def _run_faulty(args, sim: Simulator, trace: TraceRecorder):
     return run_faulty_grid(scenario, trace=trace, sim=sim)
 
 
+def _attack_specs(args):
+    """Resolve --attack-plan and every --attack into one AttackSpec tuple."""
+    from repro.attacks import ATTACK_KINDS, AttackPlan, AttackSpec
+    from repro.experiments.resilience import ATTACK_PRESETS
+
+    specs = []
+    if args.attack_plan:
+        specs.extend(AttackPlan.from_json_file(args.attack_plan).specs)
+    for name in args.attack or ():
+        if name in ATTACK_PRESETS:
+            specs.extend(ATTACK_PRESETS[name])
+        elif name in ATTACK_KINDS:
+            specs.append(AttackSpec(kind=name))
+        else:
+            raise SystemExit(
+                f"unknown attack {name!r}; presets: "
+                f"{sorted(k for k in ATTACK_PRESETS if k != 'none')}, "
+                f"kinds: {sorted(ATTACK_KINDS)}")
+    return tuple(specs)
+
+
+def _run_adversarial(args, sim: Simulator, trace: TraceRecorder, specs):
+    from repro.experiments.adversarial import AdversarialScenario, run_adversarial
+    from repro.protocols.defense import DefenseConfig
+
+    faults = ()
+    if args.fault_plan:
+        faults = FaultPlan.from_json_file(args.fault_plan).events
+    scenario = AdversarialScenario(
+        protocol=args.protocol,
+        topology=args.topology or f"star:{args.receivers}",
+        loss_rate=args.loss,
+        image_size=args.image_kib * 1024,
+        k=args.k, n=args.n, kprime=args.kprime,
+        seed=args.seed, max_time=args.max_time,
+        attacks=specs,
+        defense=DefenseConfig.from_flags(args.defense or "none"),
+        faults=faults,
+    )
+    return run_adversarial(scenario, sim=sim, trace=trace)
+
+
 def _config_dict(args) -> dict:
     """The manifest's record of what was asked for on the command line."""
     config = {
@@ -187,11 +242,19 @@ def _config_dict(args) -> dict:
         value = getattr(args, name)
         if value:
             config[name] = value
+    if args.attack:
+        config["attack"] = list(args.attack)
+    if args.attack_plan:
+        config["attack_plan"] = args.attack_plan
+    if args.defense:
+        config["defense"] = args.defense
     return config
 
 
 def main(argv=None) -> int:
     args = _build_parser().parse_args(argv)
+    attack_specs = _attack_specs(args)
+    adversarial = bool(attack_specs or args.defense)
     faulty = bool(args.fault_plan or args.mtbf is not None or args.link_flap)
     pipelines = None
 
@@ -212,7 +275,16 @@ def main(argv=None) -> int:
         sim.set_profiler(profiler)
 
     with stopwatch() as elapsed:
-        if faulty:
+        if adversarial:
+            if args.topology_file:
+                raise SystemExit("adversaries need --topology, "
+                                 "not --topology-file")
+            if args.mtbf is not None or args.link_flap:
+                raise SystemExit("stochastic churn does not compose with "
+                                 "--attack/--defense; use --fault-plan")
+            result = _run_adversarial(args, sim, trace, attack_specs)
+            n_nodes = len(result.per_node_completion) + 1
+        elif faulty:
             if args.topology_file:
                 raise SystemExit("fault injection needs --topology, "
                                  "not --topology-file")
@@ -245,6 +317,15 @@ def main(argv=None) -> int:
     print(f"advertisements:  {result.adv_packets}")
     print(f"total bytes:     {result.total_bytes}")
     print(f"latency:         {result.latency:.1f} s")
+    if adversarial:
+        injected = result.counters.get("adv_frames_injected")
+        if injected is not None:
+            delivered = result.counters.get("adv_frames_delivered", 0)
+            print(f"attacker frames: {injected} injected, "
+                  f"{delivered} delivered")
+        violations = result.counters.get("invariant_violations")
+        if violations is not None:
+            print(f"invariants:      {violations} violation(s)")
     if faulty:
         rate = result.completion_rate
         print(f"completion rate: {rate:.2%}" if rate is not None

@@ -1,0 +1,25 @@
+import pytest
+
+from repro.attacks import AttackSpec
+from repro.experiments.adversarial import AdversarialScenario, build_adversarial
+
+
+@pytest.fixture
+def adversarial_rig():
+    """Factory: a small wired star-network rig with one optional attacker."""
+
+    def make(kind=None, params=None, attacks=None, defense=None, faults=(),
+             protocol="lr-seluge", topology="star:4", image_size=2048,
+             k=4, n=6, seed=1, max_time=1500.0, start=1.0, period=0.4):
+        if attacks is None:
+            attacks = () if kind is None else (
+                AttackSpec(kind=kind, start=start, period=period,
+                           params=params or {}),)
+        scenario = AdversarialScenario(
+            protocol=protocol, topology=topology, image_size=image_size,
+            k=k, n=n, seed=seed, max_time=max_time, attacks=tuple(attacks),
+            defense=defense, faults=tuple(faults),
+        )
+        return build_adversarial(scenario)
+
+    return make

@@ -1,0 +1,75 @@
+"""The resilience scorecard: grid validation, joins, gate, serialisation."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.executor import task_key
+from repro.experiments.resilience import (
+    ATTACK_PRESETS,
+    DEFENSE_PRESETS,
+    ResilienceGrid,
+    run_resilience,
+)
+
+
+def _small_grid(**kwargs):
+    defaults = dict(protocols=("lr-seluge",), attacks=("sybil",),
+                    defenses=("none", "all"), topology="star:3",
+                    image_size=2048, k=4, n=6, seeds=(1,), max_time=900.0)
+    defaults.update(kwargs)
+    return ResilienceGrid(**defaults)
+
+
+def test_presets_are_wellformed():
+    assert set(ATTACK_PRESETS) >= {"none", "jammer", "greyhole", "replay",
+                                   "sybil", "dor", "bogus-data"}
+    assert ATTACK_PRESETS["none"] == ()
+    assert "none" in DEFENSE_PRESETS and "all" in DEFENSE_PRESETS
+
+
+def test_grid_rejects_unknown_axes():
+    with pytest.raises(ConfigError):
+        ResilienceGrid(attacks=("meteor",))
+    with pytest.raises(ConfigError):
+        ResilienceGrid(attacks=("none",))  # baselines are implicit
+    with pytest.raises(ConfigError):
+        ResilienceGrid(defenses=("warp_drive",))
+
+
+def test_scenario_task_keys_are_stable():
+    grid = _small_grid()
+    a = grid.scenario("lr-seluge", "sybil", "all", seed=1)
+    b = grid.scenario("lr-seluge", "sybil", "all", seed=1)
+    assert a == b
+    assert task_key("adversarial", a) == task_key("adversarial", b)
+    assert task_key("adversarial", a) != task_key(
+        "adversarial", grid.scenario("lr-seluge", "sybil", "none", seed=1))
+
+
+def test_scorecard_end_to_end(tmp_path):
+    card = run_resilience(_small_grid())
+    # (attacks + implicit baseline) x defenses
+    assert len(card.rows) == 4
+    assert card.ok and card.missing == 0 and card.violations == 0
+
+    baseline = card.row("lr-seluge", "none", "none")
+    assert baseline.completion_rate == 1.0
+    assert baseline.latency_x == 1.0 and baseline.cost_x == 1.0
+    assert baseline.injected == 0
+
+    attacked = card.row("lr-seluge", "sybil", "none")
+    assert attacked.completion_rate == 1.0
+    assert attacked.injected > 0 and attacked.delivered > 0
+    assert attacked.cost_x > 1.0  # forged SNACKs cost the network extra frames
+
+    text = card.report()
+    assert "sybil" in text and "gate: OK" in text
+
+    out = tmp_path / "scorecard.json"
+    card.save(out)
+    data = json.loads(out.read_text())
+    assert data["ok"] is True
+    assert len(data["rows"]) == 4
+    assert data["grid"]["topology"] == "star:3"

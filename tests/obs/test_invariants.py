@@ -219,3 +219,83 @@ def test_check_events_accepts_an_event_log():
     log.instant(1.0, "unit_complete", 1, {"unit": 0})
     report = check_events(log)
     assert report.events_seen == 1 and report.ok
+
+
+# ---------------------------------------------------------------------------
+# quarantine_respected
+# ---------------------------------------------------------------------------
+
+def test_quarantine_respected_flags_service_during_quarantine():
+    events = [
+        _ev(1.0, "defense_quarantine", 1, offender=9, until=100.0),
+        _ev(5.0, "tracker_snapshot", 1, trigger="snack", via=9, unit=0,
+            requester=9),
+    ]
+    report = check_events(events)
+    assert [v.invariant for v in report.violations] == ["quarantine_respected"]
+    assert "quarantined neighbor 9" in report.violations[0].render()
+
+
+def test_quarantine_respected_allows_service_after_expiry():
+    events = [
+        _ev(1.0, "defense_quarantine", 1, offender=9, until=10.0),
+        _ev(11.0, "tracker_snapshot", 1, trigger="snack", via=9, unit=0),
+        _ev(12.0, "tracker_snapshot", 1, trigger="snack", via=9, unit=0),
+    ]
+    report = check_events(events)
+    assert report.ok
+    assert report.checked["quarantine_respected"] == 2
+
+
+def test_quarantine_is_per_node_pair():
+    # Node 2 never quarantined 9: its service of 9 is legitimate.
+    events = [
+        _ev(1.0, "defense_quarantine", 1, offender=9, until=100.0),
+        _ev(5.0, "tracker_snapshot", 2, trigger="snack", via=9, unit=0),
+    ]
+    assert check_events(events).ok
+
+
+# ---------------------------------------------------------------------------
+# replay_never_rebuffered
+# ---------------------------------------------------------------------------
+
+def test_replay_never_rebuffered_flags_double_buffer():
+    events = [
+        _ev(1.0, "pkt_buffered", 2, version=2, unit=0, index=3),
+        _ev(2.0, "pkt_buffered", 2, version=2, unit=0, index=3),
+    ]
+    report = check_events(events)
+    assert [v.invariant for v in report.violations] == ["replay_never_rebuffered"]
+
+
+def test_replay_never_rebuffered_allows_distinct_packets():
+    events = [
+        _ev(1.0, "pkt_buffered", 2, version=2, unit=0, index=3),
+        _ev(2.0, "pkt_buffered", 2, version=2, unit=0, index=4),
+        _ev(3.0, "pkt_buffered", 3, version=2, unit=0, index=3),  # other node
+    ]
+    report = check_events(events)
+    assert report.ok
+    assert report.checked["replay_never_rebuffered"] == 3
+
+
+def test_replay_never_rebuffered_honours_reboot_resume():
+    # Units at or above the resume point were lost with RAM: refetching
+    # them after the reboot is legitimate, refetching persisted ones is not.
+    events = [
+        _ev(1.0, "pkt_buffered", 2, version=2, unit=1, index=0),
+        _ev(2.0, "fault_crash", 2),
+        _ev(3.0, "fault_reboot", 2, resume_unit=1),
+        _ev(4.0, "pkt_buffered", 2, version=2, unit=1, index=0),
+    ]
+    assert check_events(events).ok
+
+
+def test_replay_never_rebuffered_resets_on_version_adoption():
+    events = [
+        _ev(1.0, "pkt_buffered", 2, version=2, unit=0, index=0),
+        _ev(2.0, "version_adopted", 2, version=3),
+        _ev(3.0, "pkt_buffered", 2, version=3, unit=0, index=0),
+    ]
+    assert check_events(events).ok
