@@ -143,6 +143,8 @@ class AdversarialRig:
     engine: AttackEngine
     attackers: List[AttackModel]
     image: CodeImage
+    params: object = None
+    pre: object = None
     _ran: bool = field(default=False, repr=False)
 
     def run(self) -> RunResult:
@@ -203,14 +205,17 @@ def build_adversarial(
     scenario: AdversarialScenario,
     sim: Optional[Simulator] = None,
     trace: Optional[TraceRecorder] = None,
+    rngs: Optional[RngRegistry] = None,
 ) -> AdversarialRig:
     """Wire one adversarial run without starting it.
 
     A caller-supplied ``trace`` keeps its own sink/flight attachments (no
     attribution or invariant check if it lacks them); by default the rig
     attaches an :class:`EventLog` sink and a :class:`FlightRecorder`.
+    A caller-supplied ``rngs`` (e.g. the sanitizer's tripwire registry)
+    must be seeded with ``scenario.seed`` to reproduce the default run.
     """
-    rngs = RngRegistry(scenario.seed)
+    rngs = rngs if rngs is not None else RngRegistry(scenario.seed)
     sim = sim if sim is not None else Simulator()
     if trace is None:
         log: Optional[EventLog] = EventLog()
@@ -280,7 +285,8 @@ def build_adversarial(
     return AdversarialRig(
         scenario=scenario, sim=sim, trace=trace, log=log, flight=flight,
         tracker=tracker, radio=radio, base=base, nodes=list(nodes),
-        engine=engine, attackers=attackers, image=image,
+        engine=engine, attackers=attackers, image=image, params=params,
+        pre=pre,
     )
 
 
@@ -288,6 +294,7 @@ def run_adversarial(
     scenario: AdversarialScenario,
     sim: Optional[Simulator] = None,
     trace: Optional[TraceRecorder] = None,
+    rngs: Optional[RngRegistry] = None,
 ) -> RunResult:
     """Simulate one adversarial dissemination and return enriched metrics."""
-    return build_adversarial(scenario, sim=sim, trace=trace).run()
+    return build_adversarial(scenario, sim=sim, trace=trace, rngs=rngs).run()

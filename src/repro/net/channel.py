@@ -14,11 +14,15 @@ from __future__ import annotations
 
 import abc
 import math
-from typing import Dict, Tuple
+import random
+from typing import Dict, Tuple, TYPE_CHECKING
 
 from repro.errors import ConfigError
 from repro.net.packet import Frame
 from repro.sim.rng import RngRegistry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.topology import Topology
 
 __all__ = [
     "LossModel",
@@ -45,7 +49,9 @@ class LossModel(abc.ABC):
 class NoLoss(LossModel):
     """Perfect channel (useful for unit tests and p=0 baselines)."""
 
-    def should_drop(self, rngs, sender, receiver, frame, time) -> bool:
+    def should_drop(
+        self, rngs: RngRegistry, sender: int, receiver: int, frame: Frame, time: float
+    ) -> bool:
         return False
 
 
@@ -61,7 +67,9 @@ class BernoulliLoss(LossModel):
             raise ConfigError(f"loss probability {p} outside [0, 1)")
         self.p = p
 
-    def should_drop(self, rngs, sender, receiver, frame, time) -> bool:
+    def should_drop(
+        self, rngs: RngRegistry, sender: int, receiver: int, frame: Frame, time: float
+    ) -> bool:
         if self.p == 0.0:
             return False
         return rngs.get(f"loss/{receiver}").random() < self.p
@@ -83,7 +91,9 @@ class PerLinkLoss(LossModel):
         self.loss_map = loss_map
         self.default = default
 
-    def should_drop(self, rngs, sender, receiver, frame, time) -> bool:
+    def should_drop(
+        self, rngs: RngRegistry, sender: int, receiver: int, frame: Frame, time: float
+    ) -> bool:
         p = self.loss_map.get((sender, receiver), self.default)
         if p <= 0.0:
             return False
@@ -121,7 +131,7 @@ class GilbertElliottLoss(LossModel):
         # (state, time at which the current state expires) per link
         self._state: Dict[Tuple[int, int], Tuple[bool, float]] = {}
 
-    def _advance(self, rng, link: Tuple[int, int], time: float) -> bool:
+    def _advance(self, rng: random.Random, link: Tuple[int, int], time: float) -> bool:
         """Return True when the link is in the BAD state at ``time``."""
         bad, expires = self._state.get(link, (False, 0.0))
         while expires <= time:
@@ -131,7 +141,9 @@ class GilbertElliottLoss(LossModel):
         self._state[link] = (bad, expires)
         return bad
 
-    def should_drop(self, rngs, sender, receiver, frame, time) -> bool:
+    def should_drop(
+        self, rngs: RngRegistry, sender: int, receiver: int, frame: Frame, time: float
+    ) -> bool:
         link = (sender, receiver)
         rng = rngs.get(f"ge/{sender}-{receiver}")
         bad = self._advance(rng, link, time)
@@ -152,7 +164,9 @@ class CompositeLoss(LossModel):
             raise ConfigError("CompositeLoss needs at least one component")
         self.models = models
 
-    def should_drop(self, rngs, sender, receiver, frame, time) -> bool:
+    def should_drop(
+        self, rngs: RngRegistry, sender: int, receiver: int, frame: Frame, time: float
+    ) -> bool:
         return any(
             m.should_drop(rngs, sender, receiver, frame, time) for m in self.models
         )
@@ -220,7 +234,7 @@ def snr_to_prr(snr_db: float, frame_bytes: int = 36) -> float:
 
 
 def noise_trace_prr_map(
-    topology,
+    topology: "Topology",
     rngs: RngRegistry,
     trace: SyntheticNoiseTrace,
     samples: int = 200,

@@ -33,7 +33,7 @@ __all__ = ["RadioConfig", "Radio"]
 
 
 @dataclass(frozen=True)
-class RadioConfig:
+class RadioConfig:  # replint: disable=REP017 -- built once per run, not per event; slots=True needs py>=3.10 and the CI matrix still runs 3.9
     """Physical/MAC constants (mica2 CC1000 flavour)."""
 
     bitrate_bps: float = 19200.0
@@ -173,7 +173,7 @@ class Radio:
     def queue_length(self, node_id: int) -> int:
         return len(self._queues[node_id])
 
-    def cancel_queued(self, node_id: int, predicate) -> int:
+    def cancel_queued(self, node_id: int, predicate: Callable[[Frame], bool]) -> int:
         """Drop queued (not yet on-air) frames matching ``predicate``.
 
         Supports data-packet suppression: a sender that overhears the packet

@@ -516,13 +516,13 @@ class DisseminationNode(NetworkNode):
                 )
             self.broadcast(FrameKind.SNACK, self.wire.snack_size(1), request,
                            dest=self._upgrade_server)
-            self._request_timer.start(self.timing.request_timeout)
+            self._request_timer.start(self._rearm_delay(self.timing.request_timeout))
             return
         if self.complete:
             return
         if self._serving_active():
             # Defer while transmissions for earlier pages are pending.
-            self._request_timer.start(self.timing.request_timeout)
+            self._request_timer.start(self._rearm_delay(self.timing.request_timeout))
             return
         unit = self.units_complete
         servers = self._servers_for(unit)
@@ -562,7 +562,7 @@ class DisseminationNode(NetworkNode):
             if overheard is not None and self.sim.now - overheard < self.timing.suppression_window:
                 self._suppressions += 1
                 self.trace.count("snack_suppressed")
-                self._request_timer.start(self.timing.request_timeout)
+                self._request_timer.start(self._rearm_delay(self.timing.request_timeout))
                 return
         self._suppressions = 0
         n_packets, _ = self.pipeline.geometry(unit)
@@ -586,6 +586,18 @@ class DisseminationNode(NetworkNode):
         self._request_tries += 1
         self.broadcast(FrameKind.SNACK, self.wire.snack_size(n_packets), request, dest=server)
         self._request_timer.start(self._request_retry_delay())
+
+    def _rearm_delay(self, base: float) -> float:
+        """``base`` with small multiplicative jitter from the node's stream.
+
+        A fixed timeout synchronises a whole neighborhood: every node that
+        overhears the same frame re-arms at exactly rx_time + timeout, all
+        the timers fire in the same simulator tick, and *who transmits
+        first* falls to the engine's same-timestamp tie-break — an order
+        dependence the determinism sanitizer flags.  Real radios never tie
+        exactly; +/-5% keeps the contention physical.
+        """
+        return base * self.rng.uniform(0.95, 1.05)
 
     def _request_retry_delay(self) -> float:
         """The re-arm delay after an (as yet) unanswered SNACK.
@@ -658,7 +670,7 @@ class DisseminationNode(NetworkNode):
                                        pkt.version, pkt.unit, pkt.index)
                 self._request_tries = 0
                 if self._request_timer.armed:
-                    self._request_timer.start(self.timing.request_timeout)
+                    self._request_timer.start(self._rearm_delay(self.timing.request_timeout))
                 self._try_complete_unit()
             else:
                 self.trace.count("data_rejected")
@@ -858,7 +870,7 @@ class DisseminationNode(NetworkNode):
                                          requester=request.requester,
                                          via=sender)
         if not self._tx_timer.armed:
-            self._tx_timer.start(self.timing.tx_aggregation_delay)
+            self._tx_timer.start(self._rearm_delay(self.timing.tx_aggregation_delay))
 
     def _snack_flood_exceeded(self, requester: int, unit: int) -> bool:
         """Denial-of-receipt mitigation (Section IV-E, optional).
@@ -877,7 +889,7 @@ class DisseminationNode(NetworkNode):
     def _tx_pump(self) -> None:
         if self.radio.queue_length(self.node_id) > 0:
             # MAC still draining; try again shortly.
-            self._tx_timer.start(self.timing.tx_gap)
+            self._tx_timer.start(self._rearm_delay(self.timing.tx_gap))
             return
         pending = sorted(u for u, p in self._service.items() if not p.empty)
         if not pending:
@@ -929,7 +941,8 @@ class DisseminationNode(NetworkNode):
             self.trace.flight.on_tracker(self.sim.now, self.node_id, unit,
                                          "sent", policy.snapshot(), index=index)
         self._last_served_unit = unit
-        self._tx_timer.start(self.radio.config.airtime(frame_size) + self.timing.tx_gap)
+        self._tx_timer.start(
+            self._rearm_delay(self.radio.config.airtime(frame_size) + self.timing.tx_gap))
 
     def _transmit_unit_packet(self, unit: int, index: int) -> int:
         # Record our own transmission so the pump grants a grace period to

@@ -152,7 +152,7 @@ class RatelessDelugeNode(DisseminationNode):
         """Rateless SNACKs carry a deficit count, not a bit-vector."""
         if self.complete or self._serving_active():
             if self._serving_active() and not self.complete:
-                self._request_timer.start(self.timing.request_timeout)
+                self._request_timer.start(self._rearm_delay(self.timing.request_timeout))
             return
         unit = self.units_complete
         servers = self._servers_for(unit)
@@ -172,7 +172,7 @@ class RatelessDelugeNode(DisseminationNode):
         self._request_tries += 1
         size = self.wire.header + self.wire.mac_len + 1
         self.broadcast(FrameKind.SNACK, size, request, dest=server)
-        self._request_timer.start(self.timing.request_timeout)
+        self._request_timer.start(self._rearm_delay(self.timing.request_timeout))
 
     def params_deficit(self) -> int:
         """Combinations still needed; at least 1 while the unit is open.

@@ -1,0 +1,93 @@
+"""CLI entry point: ``python -m repro.sim.sanitize``.
+
+Runs the determinism sanitizer over the quick-grid cells (including the
+fault-plan and attack-plan compositions) and exits non-zero on any
+divergence, cross-node alias, or RNG-discipline violation.  CI's
+``sanitizer-smoke`` job publishes the JSON report as a build artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.sim.sanitize.harness import default_cells, run_sanitizer
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sim.sanitize",
+        description=(
+            "Determinism sanitizer: schedule-perturbation race detector, "
+            "shared-state scan, and RNG-discipline tripwire."
+        ),
+    )
+    parser.add_argument(
+        "--perturbations", type=int, default=5, metavar="K",
+        help="tie-break permutations per cell (default: %(default)s)")
+    parser.add_argument(
+        "--cell", action="append", dest="cells", metavar="NAME",
+        help="run only this cell (repeatable); default: all cells")
+    parser.add_argument(
+        "--list-cells", action="store_true",
+        help="list the available cells and exit")
+    parser.add_argument(
+        "--out", metavar="PATH",
+        help="write the JSON report to PATH (atomic)")
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-run progress lines")
+    args = parser.parse_args(argv)
+
+    if args.list_cells:
+        for cell in default_cells():
+            extras = []
+            if cell.faults:
+                extras.append("fault plan")
+            if cell.attacks:
+                extras.append("attack plan")
+            suffix = f" ({', '.join(extras)})" if extras else ""
+            print(f"{cell.name}: {cell.protocol} on star:{cell.receivers}"
+                  f"{suffix}")
+        return 0
+
+    progress = None if args.quiet else (lambda line: print(line, flush=True))
+    report = run_sanitizer(
+        perturbations=args.perturbations,
+        cells=default_cells(args.cells),
+        log=progress,
+    )
+
+    if args.out:
+        from repro.persist import atomic_write_text
+
+        atomic_write_text(
+            args.out, json.dumps(report.to_jsonable(), indent=2) + "\n")
+
+    for cell_report in report.cells:
+        status = "clean" if cell_report.ok else "DIVERGENT"
+        print(f"{cell_report.cell.name}: {status} "
+              f"({cell_report.events} events, "
+              f"{len(cell_report.perturbed)} perturbations)")
+        for divergence in cell_report.divergences:
+            print(divergence.format())
+        for finding in cell_report.aliases_setup:
+            print(f"  shared state at setup: {finding.format()}")
+        for finding in cell_report.aliases_final:
+            print(f"  shared state after run: {finding.format()}")
+        for violation in cell_report.rng_violations:
+            print(f"  rng: {violation}")
+
+    if report.ok:
+        print(f"sanitizer: clean "
+              f"({len(report.cells)} cells x {report.perturbations} "
+              f"perturbations)")
+        return 0
+    print("sanitizer: divergence detected", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

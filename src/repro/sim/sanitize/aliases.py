@@ -1,0 +1,157 @@
+"""Shared-state detection: mutable containers aliased across nodes.
+
+Nodes in the simulation are independent devices; the only state they may
+share is the sanctioned infrastructure they are wired to (the simulator,
+the radio, the trace recorder, the RNG registry, the preprocessed image...).
+A mutable container (dict/list/set/bytearray/deque) reachable from two
+different node instances but *not* from any sanctioned shared root is a
+latent cross-node write channel: one node's mutation silently changes
+another node's behaviour, and whether the write lands before or after the
+read depends on event order — exactly the class of bug the schedule
+perturbation hunts dynamically.  This module finds such aliases
+structurally, before they ever race.
+
+The walk is conservative and allocation-free in spirit: it descends
+through ``__dict__``/``__slots__`` and container elements, skips callables,
+modules, classes and enums (bound methods would otherwise make every node
+"share" its class), and treats everything reachable from the allowlisted
+roots as sanctioned.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from enum import Enum
+from types import ModuleType
+from typing import Dict, Iterable, List, Mapping, Set, Tuple
+
+__all__ = ["AliasFinding", "find_shared_state"]
+
+#: Containers whose contents can be mutated in place.
+_MUTABLE_CONTAINERS = (dict, list, set, bytearray, deque)
+
+#: Leaf types never worth descending into.
+_ATOMIC = (str, bytes, int, float, complex, bool, type(None), frozenset)
+
+_MAX_OBJECTS = 200_000  # hard stop for pathological object graphs
+
+
+@dataclass(frozen=True)
+class AliasFinding:
+    """One mutable container reachable from two or more owners."""
+
+    type_name: str
+    owners: Tuple[str, ...]
+    paths: Tuple[str, ...]  # one access path per owner, same order
+
+    def format(self) -> str:
+        routes = "; ".join(
+            f"{owner}{path}" for owner, path in zip(self.owners, self.paths)
+        )
+        return f"shared {self.type_name} via {routes}"
+
+
+def _children(obj: object) -> "List[Tuple[str, object]]":
+    """(edge-label, child) pairs for the reference walk."""
+    out: List[Tuple[str, object]] = []
+    if isinstance(obj, Mapping) or isinstance(obj, dict):
+        for key, value in obj.items():
+            out.append((f"[{key!r}]", value))
+        return out
+    if isinstance(obj, (list, tuple, set, frozenset, deque)):
+        for index, value in enumerate(obj):
+            out.append((f"[{index}]", value))
+        return out
+    vars_dict = getattr(obj, "__dict__", None)
+    if isinstance(vars_dict, dict):
+        for attr, value in vars_dict.items():
+            out.append((f".{attr}", value))
+    slots = getattr(type(obj), "__slots__", None)
+    if slots is not None:
+        slot_names = (slots,) if isinstance(slots, str) else tuple(slots)
+        for attr in slot_names:
+            try:
+                out.append((f".{attr}", getattr(obj, attr)))
+            except AttributeError:
+                continue
+    return out
+
+
+def _skip(obj: object) -> bool:
+    """Objects the walk treats as opaque leaves."""
+    return (
+        isinstance(obj, _ATOMIC)
+        or isinstance(obj, (ModuleType, type, Enum))
+        or callable(obj)
+    )
+
+
+def _reachable_ids(roots: Iterable[object], boundary: Set[int]) -> Set[int]:
+    """ids of every object reachable from ``roots`` without crossing
+    ``boundary`` (owner objects: a sanctioned root that *points at* the
+    nodes, like the radio's registration table, must not launder the
+    nodes' private state into the sanctioned set)."""
+    seen: Set[int] = set()
+    stack: List[object] = [r for r in roots if r is not None]
+    while stack and len(seen) < _MAX_OBJECTS:
+        obj = stack.pop()
+        key = id(obj)
+        if key in seen or key in boundary or _skip(obj):
+            continue
+        seen.add(key)
+        for _, child in _children(obj):
+            stack.append(child)
+    return seen
+
+
+def find_shared_state(
+    owners: "Mapping[str, object]",
+    sanctioned: Iterable[object] = (),
+) -> List[AliasFinding]:
+    """Mutable containers reachable from two or more ``owners``.
+
+    ``owners`` maps a stable label (``"node/3"``) to each node/protocol
+    instance.  ``sanctioned`` lists the shared-by-design roots; anything
+    reachable from them (without crossing into an owner) is exempt.
+    Findings are sorted by (type name, first owner) so reports are stable.
+    """
+    owner_ids = {id(obj) for obj in owners.values()}
+    allowed = _reachable_ids(sanctioned, boundary=owner_ids)
+
+    first_seen: Dict[int, Tuple[str, str, object]] = {}
+    shared: Dict[int, AliasFinding] = {}
+
+    for label in sorted(owners):
+        root = owners[label]
+        seen_here: Set[int] = set()
+        stack: List[Tuple[object, str]] = [(root, "")]
+        while stack and len(seen_here) < _MAX_OBJECTS:
+            obj, path = stack.pop()
+            key = id(obj)
+            if key in seen_here or key in allowed or _skip(obj):
+                continue
+            if key in owner_ids and obj is not root:
+                continue  # a reference to a sibling owner, not shared state
+            seen_here.add(key)
+            if isinstance(obj, _MUTABLE_CONTAINERS) and obj is not root:
+                prior = first_seen.get(key)
+                if prior is None:
+                    first_seen[key] = (label, path, obj)
+                elif prior[0] != label:
+                    existing = shared.get(key)
+                    if existing is None:
+                        shared[key] = AliasFinding(
+                            type_name=type(obj).__name__,
+                            owners=(prior[0], label),
+                            paths=(prior[1], path),
+                        )
+                    elif label not in existing.owners:
+                        shared[key] = AliasFinding(
+                            type_name=existing.type_name,
+                            owners=existing.owners + (label,),
+                            paths=existing.paths + (path,),
+                        )
+            for edge, child in _children(obj):
+                stack.append((child, path + edge))
+    return sorted(shared.values(), key=lambda f: (f.type_name, f.owners))

@@ -1,0 +1,344 @@
+"""The sanitizer harness: perturbed runs, alias scans, tripwire, reports.
+
+One *cell* is a small dissemination scenario (CI's quick-grid shape: a
+5-receiver star, 2 KiB image, k=4/n=6).  For each cell the harness runs
+
+1. a **baseline** on the plain production :class:`~repro.sim.engine.
+   Simulator` (FIFO tie-break — exactly what every experiment runs), and
+2. ``K`` **perturbed** runs on :class:`~repro.sim.sanitize.perturb.
+   PerturbedSimulator` with tie-break permutations 1..K,
+
+then byte-compares the canonical metric/event digests.  Equality proves the
+cell's results are independent of same-timestamp event order; a mismatch is
+reported with the first divergent canonical event and the differing
+counters.  The baseline run additionally fingerprints cross-node shared
+state before and after execution, and every perturbed run feeds the
+RNG-discipline tripwire.
+
+Everything above the simulator is imported lazily: this module lives in the
+strictly-typed :mod:`repro.sim` package, while the scenario wiring layer
+(:mod:`repro.experiments`) is typed best-effort.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.sim.engine import Simulator
+from repro.sim.sanitize.aliases import AliasFinding, find_shared_state
+from repro.sim.sanitize.digest import (
+    DigestPair,
+    canonical_events,
+    event_digest,
+    first_divergence,
+    metrics_digest,
+)
+from repro.sim.sanitize.perturb import HandlerContext, PerturbedSimulator
+from repro.sim.sanitize.tripwire import TripwireRegistry
+
+__all__ = [
+    "SanitizeCell",
+    "CellReport",
+    "SanitizerReport",
+    "DEFAULT_CELLS",
+    "default_cells",
+    "run_cell",
+    "run_sanitizer",
+]
+
+
+@dataclass(frozen=True)
+class SanitizeCell:
+    """One scenario the sanitizer exercises.
+
+    The shape mirrors the CI quick grid; ``faults``/``attacks`` toggle the
+    composed fault plan / attack plan cells the acceptance criteria name.
+    """
+
+    name: str
+    protocol: str = "lr-seluge"
+    receivers: int = 5
+    loss_rate: float = 0.1
+    image_size: int = 2048
+    k: int = 4
+    n: int = 6
+    seed: int = 3
+    max_time: float = 1800.0
+    faults: bool = False
+    attacks: bool = False
+
+
+DEFAULT_CELLS: Tuple[SanitizeCell, ...] = (
+    SanitizeCell(name="deluge", protocol="deluge"),
+    SanitizeCell(name="seluge", protocol="seluge"),
+    SanitizeCell(name="lr-seluge", protocol="lr-seluge"),
+    SanitizeCell(name="lr-seluge+faults", protocol="lr-seluge", faults=True),
+    SanitizeCell(name="lr-seluge+attack", protocol="lr-seluge", attacks=True),
+)
+
+
+def default_cells(names: Optional[List[str]] = None) -> Tuple[SanitizeCell, ...]:
+    """The default cell set, optionally filtered to ``names``."""
+    if not names:
+        return DEFAULT_CELLS
+    by_name = {cell.name: cell for cell in DEFAULT_CELLS}
+    unknown = [n for n in names if n not in by_name]
+    if unknown:
+        raise ConfigError(
+            f"unknown sanitizer cell(s) {unknown}; known: {sorted(by_name)}")
+    return tuple(by_name[n] for n in names)
+
+
+@dataclass
+class Divergence:
+    """One perturbed run whose digests differ from the baseline."""
+
+    perturbation: int
+    metrics_equal: bool
+    events_equal: bool
+    counter_diff: Dict[str, Tuple[Optional[int], Optional[int]]]
+    first_event_diff: Optional[Tuple[int, str, str]]
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {
+            "perturbation": self.perturbation,
+            "metrics_equal": self.metrics_equal,
+            "events_equal": self.events_equal,
+            "counter_diff": {
+                key: list(pair) for key, pair in sorted(self.counter_diff.items())
+            },
+            "first_event_diff": (
+                list(self.first_event_diff)
+                if self.first_event_diff is not None else None
+            ),
+        }
+
+    def format(self) -> str:
+        lines = [f"perturbation {self.perturbation}:"]
+        for key, (base, pert) in sorted(self.counter_diff.items()):
+            lines.append(f"  counter {key}: baseline={base} perturbed={pert}")
+        if self.first_event_diff is not None:
+            index, base, pert = self.first_event_diff
+            lines.append(f"  first divergent event (canonical index {index}):")
+            lines.append(f"    baseline:  {base}")
+            lines.append(f"    perturbed: {pert}")
+        return "\n".join(lines)
+
+
+@dataclass
+class CellReport:
+    """Everything the sanitizer learned about one cell."""
+
+    cell: SanitizeCell
+    baseline: DigestPair
+    perturbed: Dict[int, DigestPair] = field(default_factory=dict)
+    divergences: List[Divergence] = field(default_factory=list)
+    aliases_setup: List[AliasFinding] = field(default_factory=list)
+    aliases_final: List[AliasFinding] = field(default_factory=list)
+    rng_violations: List[str] = field(default_factory=list)
+    events: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not (self.divergences or self.aliases_setup
+                    or self.aliases_final or self.rng_violations)
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {
+            "cell": self.cell.name,
+            "protocol": self.cell.protocol,
+            "events": self.events,
+            "ok": self.ok,
+            "baseline": {"metrics": self.baseline.metrics,
+                         "events": self.baseline.events},
+            "perturbed": {
+                str(p): {"metrics": d.metrics, "events": d.events}
+                for p, d in sorted(self.perturbed.items())
+            },
+            "divergences": [d.to_jsonable() for d in self.divergences],
+            "aliases_setup": [a.format() for a in self.aliases_setup],
+            "aliases_final": [a.format() for a in self.aliases_final],
+            "rng_violations": list(self.rng_violations),
+        }
+
+
+@dataclass
+class SanitizerReport:
+    """The full sanitizer verdict over every cell."""
+
+    perturbations: int
+    cells: List[CellReport] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(cell.ok for cell in self.cells)
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {
+            "sanitizer": "repro.sim.sanitize",
+            "perturbations": self.perturbations,
+            "ok": self.ok,
+            "verdict": "clean" if self.ok else "divergent",
+            "cells": [cell.to_jsonable() for cell in self.cells],
+        }
+
+
+# ---------------------------------------------------------------------------
+# Scenario wiring (lazy imports: the experiments layer is typed best-effort)
+# ---------------------------------------------------------------------------
+
+
+def _fault_events() -> Tuple[Any, ...]:
+    """A deterministic crash/reboot + link-flap plan for the fault cell."""
+    from repro.faults.plan import FaultEvent, FaultKind
+
+    return (
+        FaultEvent(time=20.0, kind=FaultKind.NODE_CRASH, node=2),
+        FaultEvent(time=60.0, kind=FaultKind.NODE_REBOOT, node=2),
+        FaultEvent(time=30.0, kind=FaultKind.LINK_DOWN, link=(0, 4)),
+        FaultEvent(time=75.0, kind=FaultKind.LINK_UP, link=(0, 4)),
+    )
+
+
+def _attack_specs() -> Tuple[Any, ...]:
+    """One bogus-data injector — the attack-plan cell's adversary."""
+    from repro.attacks.plan import AttackSpec
+
+    return (AttackSpec(kind="bogus-data", start=0.5, period=0.3),)
+
+
+def _scenario_for(cell: SanitizeCell) -> Any:
+    from repro.experiments.adversarial import AdversarialScenario
+
+    return AdversarialScenario(
+        protocol=cell.protocol,
+        topology=f"star:{cell.receivers}",
+        loss_rate=cell.loss_rate,
+        image_size=cell.image_size,
+        k=cell.k,
+        n=cell.n,
+        seed=cell.seed,
+        max_time=cell.max_time,
+        attacks=_attack_specs() if cell.attacks else (),
+        faults=_fault_events() if cell.faults else (),
+        label=f"sanitize/{cell.name}",
+    )
+
+
+def _owners_of(rig: Any) -> Dict[str, object]:
+    owners: Dict[str, object] = {"base": rig.base}
+    for node in rig.nodes:
+        owners[f"node/{node.node_id}"] = node
+    for attacker in rig.attackers:
+        owners[f"attacker/{attacker.node_id}"] = attacker
+    return owners
+
+
+def _sanctioned_of(rig: Any, rngs: object) -> List[object]:
+    return [
+        rig.sim, rig.trace, rig.log, rig.flight, rig.radio, rig.tracker,
+        rig.image, rig.engine, rig.scenario, rig.params, rig.pre,
+        rig.radio.topology, rig.radio.loss_model, rngs,
+    ]
+
+
+def _run_scenario(
+    cell: SanitizeCell,
+    sim: Simulator,
+    rngs: Any,
+    alias_scan: bool = False,
+) -> Tuple[Any, Any, List[AliasFinding], List[AliasFinding]]:
+    """Build and run one cell; returns (result, log, setup/final aliases)."""
+    from repro.experiments.adversarial import build_adversarial
+
+    rig = build_adversarial(_scenario_for(cell), sim=sim, rngs=rngs)
+    setup_aliases: List[AliasFinding] = []
+    final_aliases: List[AliasFinding] = []
+    if alias_scan:
+        setup_aliases = find_shared_state(
+            _owners_of(rig), sanctioned=_sanctioned_of(rig, rngs))
+    result = rig.run()
+    if alias_scan:
+        final_aliases = find_shared_state(
+            _owners_of(rig), sanctioned=_sanctioned_of(rig, rngs))
+    return result, rig.log, setup_aliases, final_aliases
+
+
+def _counter_diff(
+    base: Any, pert: Any
+) -> Dict[str, Tuple[Optional[int], Optional[int]]]:
+    diff: Dict[str, Tuple[Optional[int], Optional[int]]] = {}
+    keys = set(base.counters) | set(pert.counters)
+    for key in sorted(keys):
+        a = base.counters.get(key)
+        b = pert.counters.get(key)
+        if a != b:
+            diff[key] = (a, b)
+    return diff
+
+
+def run_cell(
+    cell: SanitizeCell,
+    perturbations: int = 5,
+    log: Optional[Callable[[str], None]] = None,
+) -> CellReport:
+    """Run one cell's baseline + perturbed sweeps and build its report."""
+    say = log if log is not None else (lambda message: None)
+
+    say(f"[{cell.name}] baseline run (production FIFO tie-break)")
+    base_result, base_log, setup_aliases, final_aliases = _run_scenario(
+        cell, Simulator(), TripwireRegistry(cell.seed), alias_scan=True)
+    base_digests = DigestPair(metrics=metrics_digest(base_result),
+                              events=event_digest(base_log))
+    base_events = canonical_events(base_log)
+
+    report = CellReport(
+        cell=cell,
+        baseline=base_digests,
+        aliases_setup=setup_aliases,
+        aliases_final=final_aliases,
+        events=len(base_events),
+    )
+
+    rng_violations: Dict[str, None] = {}  # ordered de-dup
+    for perturbation in range(1, perturbations + 1):
+        say(f"[{cell.name}] perturbed run {perturbation}/{perturbations}")
+        context = HandlerContext()
+        sim = PerturbedSimulator(perturbation, context=context)
+        rngs = TripwireRegistry(cell.seed, context=context)
+        result, event_log, _, _ = _run_scenario(cell, sim, rngs)
+        digests = DigestPair(metrics=metrics_digest(result),
+                             events=event_digest(event_log))
+        report.perturbed[perturbation] = digests
+        for binding in rngs.violations():
+            contexts = ", ".join(binding.node_contexts)
+            rng_violations.setdefault(
+                f"stream {binding.name!r} drawn from multiple node "
+                f"contexts: {contexts}")
+        if digests != base_digests:
+            report.divergences.append(Divergence(
+                perturbation=perturbation,
+                metrics_equal=digests.metrics == base_digests.metrics,
+                events_equal=digests.events == base_digests.events,
+                counter_diff=_counter_diff(base_result, result),
+                first_event_diff=first_divergence(
+                    base_events, canonical_events(event_log)),
+            ))
+    report.rng_violations = list(rng_violations)
+    return report
+
+
+def run_sanitizer(
+    perturbations: int = 5,
+    cells: Optional[Tuple[SanitizeCell, ...]] = None,
+    log: Optional[Callable[[str], None]] = None,
+) -> SanitizerReport:
+    """Run every cell and aggregate the verdict."""
+    if perturbations < 1:
+        raise ConfigError(f"need at least 1 perturbation, got {perturbations}")
+    report = SanitizerReport(perturbations=perturbations)
+    for cell in cells if cells is not None else DEFAULT_CELLS:
+        report.cells.append(run_cell(cell, perturbations, log=log))
+    return report

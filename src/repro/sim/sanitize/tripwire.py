@@ -1,0 +1,92 @@
+"""RNG-discipline tripwire: who draws which named stream?
+
+The seeded-determinism argument (DESIGN.md section 8) assumes each named
+stream from the :class:`~repro.sim.rng.RngRegistry` has a single logical
+consumer: ``node/3`` belongs to node 3's protocol jitter, ``mac/7`` to node
+7's MAC backoff, ``loss/2`` to receptions at node 2.  A stream drawn from
+*two different node contexts* means two components share randomness — a
+draw added in one perturbs the other, and any event reorder between them
+changes results.  :class:`TripwireRegistry` subclasses the registry to
+record a ``stream name → consumer contexts`` binding table (contexts come
+from the :class:`~repro.sim.sanitize.perturb.HandlerContext` published by
+the perturbed simulator) and reports streams bound to more than one node.
+
+Setup-time draws (topology generation, fault-plan sampling) happen under
+the ``"setup"`` context and never conflict with anything; infrastructure
+contexts (``Radio#0``) are likewise exempt — the radio legitimately draws
+per-node MAC/loss streams on behalf of every node, in event order.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+import numpy as np
+
+from repro.sim.rng import RngRegistry
+from repro.sim.sanitize.perturb import HandlerContext
+
+__all__ = ["StreamBinding", "TripwireRegistry"]
+
+
+@dataclass(frozen=True)
+class StreamBinding:
+    """One stream name and every context that requested it."""
+
+    name: str
+    contexts: Tuple[str, ...]
+
+    @property
+    def node_contexts(self) -> Tuple[str, ...]:
+        return tuple(c for c in self.contexts if c.startswith("node/"))
+
+    @property
+    def is_violation(self) -> bool:
+        """True when two *different* nodes drew the same stream."""
+        return len(set(self.node_contexts)) > 1
+
+
+class TripwireRegistry(RngRegistry):
+    """An :class:`RngRegistry` that records (stream → consumer) bindings.
+
+    Drop-in replacement: inject one into a scenario runner (the ``rngs``
+    parameter of ``run_one_hop``/``build_adversarial``/...) together with a
+    :class:`PerturbedSimulator` carrying the same :class:`HandlerContext`,
+    run the scenario, then inspect :meth:`bindings` / :meth:`violations`.
+    """
+
+    def __init__(self, root_seed: int = 0,
+                 context: "HandlerContext | None" = None) -> None:
+        super().__init__(root_seed)
+        self.context = context if context is not None else HandlerContext()
+        self._bindings: Dict[str, List[str]] = {}
+
+    def _note(self, name: str) -> None:
+        contexts = self._bindings.setdefault(name, [])
+        current = self.context.current
+        if current not in contexts:
+            contexts.append(current)
+
+    def get(self, name: str) -> random.Random:
+        self._note(name)
+        return super().get(name)
+
+    def get_numpy(self, name: str) -> np.random.Generator:
+        self._note(name)
+        return super().get_numpy(name)
+
+    def bindings(self) -> List[StreamBinding]:
+        """Every recorded binding, sorted by stream name."""
+        return [
+            StreamBinding(name=name, contexts=tuple(contexts))
+            for name, contexts in sorted(self._bindings.items())
+        ]
+
+    def violations(self) -> List[StreamBinding]:
+        """Streams drawn from two or more distinct node contexts."""
+        return [b for b in self.bindings() if b.is_violation]
+
+    def consumers(self, name: str) -> Set[str]:
+        return set(self._bindings.get(name, []))

@@ -170,10 +170,13 @@ def test_rate_limit_quarantines_dor_flooder():
     """Satellite: the token bucket bounds the victim's serve count."""
     attack = (AttackSpec(kind="denial-of-receipt", start=1.0, period=0.2,
                          params={"victim": 1, "unit": 0, "n_packets": 12}),)
-    undefended = build_adversarial(_scenario(attacks=attack))
+    # The undefended victim crawls home in ~2000s of simulated time; give
+    # both runs headroom so the comparison is between completed runs.
+    undefended = build_adversarial(_scenario(attacks=attack, max_time=3000.0))
     r_open = undefended.run()
     defended = build_adversarial(_scenario(
-        attacks=attack, defense=DefenseConfig(rate_limit=True)))
+        attacks=attack, defense=DefenseConfig(rate_limit=True),
+        max_time=3000.0))
     r_shut = defended.run()
     assert r_open.completed and r_shut.completed
     assert defended.trace.counters["defense_quarantine"] >= 1

@@ -753,6 +753,300 @@ def test_rep012_skips_dynamic_modes():
 
 
 # ---------------------------------------------------------------------------
+# REP014 — queue-order-read
+# ---------------------------------------------------------------------------
+
+def test_rep014_flags_zero_delay_handler_reading_queue_state():
+    findings = run(
+        """
+        class Node:
+            def start(self, sim):
+                sim.schedule(0.0, self.on_wake)
+
+            def on_wake(self, sim):
+                if sim.pending_events:
+                    self.fire()
+        """
+    )
+    assert "REP014" in codes(findings)
+
+
+def test_rep014_flags_schedule_at_now_handlers():
+    findings = run(
+        """
+        class Node:
+            def start(self, sim):
+                sim.schedule_at(sim.now, self.on_wake)
+
+            def on_wake(self, sim):
+                return len(sim._queue)
+        """
+    )
+    assert "REP014" in codes(findings)
+
+
+def test_rep014_allows_delayed_handlers_and_pure_same_ts_handlers():
+    # A handler with real delay may inspect the queue (it runs in its own
+    # timestamp group), and a zero-delay handler is fine if it only reads
+    # simulated time / node state.
+    findings = run(
+        """
+        class Node:
+            def start(self, sim):
+                sim.schedule(1.0, self.on_later)
+                sim.schedule(0.0, self.on_now)
+                sim.schedule_at(self.deadline, self.on_deadline)
+
+            def on_later(self, sim):
+                return sim.pending_events
+
+            def on_now(self, sim):
+                return sim.now + self.backoff
+
+            def on_deadline(self, sim):
+                return sim.pending_events
+        """
+    )
+    assert "REP014" not in codes(findings)
+
+
+def test_rep014_skips_tests():
+    findings = run(
+        """
+        def start(sim):
+            sim.schedule(0.0, probe)
+
+        def probe(sim):
+            assert sim.pending_events == 0
+        """,
+        relpath="tests/test_engine.py",
+    )
+    assert codes(findings) == []
+
+
+# ---------------------------------------------------------------------------
+# REP015 — shared-class-state
+# ---------------------------------------------------------------------------
+
+def test_rep015_flags_mutable_class_attrs_and_method_defaults():
+    findings = run(
+        """
+        class Node:
+            peers = []
+            cache: dict = {}
+
+            def record(self, item, seen=set()):
+                seen.add(item)
+        """,
+        select={"REP015"},
+    )
+    assert codes(findings).count("REP015") == 3
+
+
+def test_rep015_allows_immutable_slots_and_per_instance_state():
+    findings = run(
+        """
+        from dataclasses import dataclass, field
+
+        class Node:
+            __slots__ = ("peers",)
+            LIMIT = 4
+            name: str = "n"
+            pending: list
+
+            def __init__(self):
+                self.peers = []
+
+        @dataclass
+        class Spec:
+            items: list = field(default_factory=list)
+        """,
+        select={"REP015"},
+    )
+    assert codes(findings) == []
+
+
+def test_rep015_is_scoped_to_per_node_modules():
+    source = """
+        class Sweeper:
+            results = []
+    """
+    in_scope = run(source, relpath="src/repro/attacks/example.py",
+                   select={"REP015"})
+    assert "REP015" in codes(in_scope)
+    out_of_scope = run(source, relpath="src/repro/experiments/example.py",
+                       select={"REP015"})
+    assert codes(out_of_scope) == []
+
+
+# ---------------------------------------------------------------------------
+# REP016 — hot-path-unordered
+# ---------------------------------------------------------------------------
+
+HOT = "src/repro/net/radio.py"
+
+
+def test_rep016_flags_attribute_set_iteration_on_hot_path():
+    findings = run(
+        """
+        class Radio:
+            def __init__(self):
+                self._detached = set()
+
+            def survivors(self):
+                return [n for n in self._detached]
+        """,
+        relpath=HOT,
+    )
+    assert "REP016" in codes(findings)
+
+
+def test_rep016_flags_set_annotated_parameters():
+    findings = run(
+        """
+        class Radio:
+            def deliver(self, audible: set):
+                for n in audible:
+                    self.send(n)
+        """,
+        relpath=HOT,
+    )
+    assert "REP016" in codes(findings)
+
+
+def test_rep016_defers_local_names_to_rep003():
+    # A local set name is REP003's finding even on the hot path: one
+    # defect, one code.
+    findings = run(
+        """
+        def pump(queue, send):
+            pending = set(queue)
+            for p in pending:
+                send(p)
+        """,
+        relpath=HOT,
+    )
+    assert codes(findings).count("REP003") == 1
+    assert "REP016" not in codes(findings)
+
+
+def test_rep016_allows_sorted_dicts_and_cold_modules():
+    clean = run(
+        """
+        class Radio:
+            def __init__(self):
+                self._detached = set()
+                self._queues = {}
+
+            def survivors(self):
+                for n in sorted(self._detached):
+                    yield n
+                for nid in self._queues:
+                    yield nid
+        """,
+        relpath=HOT,
+    )
+    assert codes(clean) == []
+    # The same attribute iteration off the hot path is out of scope.
+    elsewhere = run(
+        """
+        class Planner:
+            def __init__(self):
+                self._seen = set()
+
+            def emit(self):
+                return [x for x in self._seen]
+        """,
+        select={"REP016"},
+    )
+    assert codes(elsewhere) == []
+
+
+# ---------------------------------------------------------------------------
+# REP017 — hot-path-allocation
+# ---------------------------------------------------------------------------
+
+ENGINE = "src/repro/sim/engine.py"
+
+
+def test_rep017_flags_slotless_dataclass_on_hot_path():
+    findings = run(
+        """
+        from dataclasses import dataclass
+
+        @dataclass
+        class Event:
+            time: float
+        """,
+        relpath=ENGINE,
+    )
+    assert "REP017" in codes(findings)
+    assert RULES_BY_CODE["REP017"].severity is Severity.WARNING
+
+
+def test_rep017_flags_per_iteration_allocation_in_loops_and_handlers():
+    findings = run(
+        """
+        class Engine:
+            def drain(self, queue):
+                while queue:
+                    batch = [e for e in queue if e.ready]
+                    self.fire(batch)
+
+            def start(self, sim):
+                sim.schedule(1.0, self.on_timer)
+
+            def on_timer(self):
+                return list(self.pending)
+        """,
+        relpath=ENGINE,
+    )
+    assert codes(findings).count("REP017") == 2
+
+
+def test_rep017_allows_slotted_dataclasses_and_cold_allocation():
+    findings = run(
+        """
+        from dataclasses import dataclass
+
+        @dataclass(slots=True)
+        class Event:
+            time: float
+
+        @dataclass
+        class Stats:
+            __slots__ = ("pushes",)
+            pushes: int
+
+        class Engine:
+            def drain(self, queue, send):
+                while queue:
+                    send(e.size for e in queue)  # generator: no allocation churn
+                    empty = list()  # no args: not a materialiser copy
+
+            def snapshot(self):
+                return [e for e in self.pending]  # not a loop, not a handler
+        """,
+        relpath=ENGINE,
+    )
+    assert codes(findings) == []
+
+
+def test_rep017_is_scoped_to_hot_modules():
+    findings = run(
+        """
+        from dataclasses import dataclass
+
+        @dataclass
+        class Row:
+            label: str
+        """,
+        select={"REP017"},
+    )
+    assert codes(findings) == []
+
+
+# ---------------------------------------------------------------------------
 # Parse errors
 # ---------------------------------------------------------------------------
 
@@ -857,6 +1151,56 @@ def test_baseline_survives_line_shifts():
     assert all(baseline.consume(f) for f in analyze_source(shifted, SRC))
 
 
+def test_baseline_reports_unconsumed_entries():
+    source = "import time\n\n\ndef f():\n    return time.time()\n"
+    baseline = Baseline.from_findings(analyze_source(source, SRC))
+    (path, rule, _line_hash, count), = baseline.unconsumed()
+    assert (path, rule, count) == (SRC, "REP002", 1)
+    for finding in analyze_source(source, SRC):
+        baseline.consume(finding)
+    assert baseline.unconsumed() == []
+
+
+def test_cli_fails_on_stale_baseline_entry(tmp_path, capsys):
+    """Drift check: a baselined finding that stops firing fails the run."""
+    target = _make_tree(tmp_path, """
+        import time
+
+        def stamp():
+            return time.time()
+        """)
+    src = str(tmp_path / "src")
+    assert main([src, "--root", str(tmp_path), "--write-baseline"]) == 0
+    assert main([src, "--root", str(tmp_path)]) == 0
+    # Fix the violation: the baseline entry goes stale and CI must notice.
+    target.write_text("def stamp(clock):\n    return clock()\n")
+    capsys.readouterr()
+    assert main([src, "--root", str(tmp_path)]) == 1
+    err = capsys.readouterr().err
+    assert "stale baseline entry" in err and "REP002" in err
+    # Refreshing the baseline clears the failure.
+    assert main([src, "--root", str(tmp_path), "--write-baseline"]) == 0
+    assert main([src, "--root", str(tmp_path)]) == 0
+
+
+def test_stale_check_skips_select_and_uncovered_paths(tmp_path, capsys):
+    _make_tree(tmp_path, """
+        import time
+
+        def stamp():
+            return time.time()
+        """)
+    other = tmp_path / "tests"
+    other.mkdir()
+    (other / "test_ok.py").write_text("def test_f():\n    assert True\n")
+    src = str(tmp_path / "src")
+    assert main([src, "--root", str(tmp_path), "--write-baseline"]) == 0
+    # A --select subset never consumes other rules' entries: not drift.
+    assert main([src, "--root", str(tmp_path), "--select", "REP008"]) == 0
+    # A run over paths that don't cover the entry: not drift either.
+    assert main([str(other), "--root", str(tmp_path)]) == 0
+
+
 # ---------------------------------------------------------------------------
 # Fixes
 # ---------------------------------------------------------------------------
@@ -918,6 +1262,60 @@ def test_fixed_output_is_flagged_clean():
     fixed, _ = fix_source(source, {"REP008"})
     assert codes(analyze_source(fixed, SRC)) == []
     ast.parse(fixed)
+
+
+FIX_FIXTURES = {
+    "REP006": textwrap.dedent(
+        """
+        def enqueue(item, queue=[], *, seen=set()):
+            queue.append(item)
+            seen.add(item)
+            return queue
+        """
+    ),
+    "REP008": textwrap.dedent(
+        """
+        def decode(blocks):
+            assert blocks, "no blocks"
+            assert blocks[0] is not None
+            return blocks[0]
+        """
+    ),
+}
+
+
+@pytest.mark.parametrize("rule", sorted(FIX_FIXTURES))
+def test_fix_is_idempotent(rule):
+    """Fixing twice must equal fixing once, for every autofix rule."""
+    once, n_once = fix_source(FIX_FIXTURES[rule], {rule})
+    assert n_once == 2
+    twice, n_twice = fix_source(once, {rule})
+    assert n_twice == 0
+    assert twice == once
+
+
+@pytest.mark.parametrize("rule", sorted(FIX_FIXTURES))
+def test_fix_is_a_noop_on_clean_files(rule):
+    clean = textwrap.dedent(
+        """
+        def enqueue(item, queue=None):
+            if queue is None:
+                raise ValueError("queue required")
+            queue.append(item)
+            return queue
+        """
+    )
+    fixed, n = fix_source(clean, {rule})
+    assert n == 0
+    assert fixed == clean
+
+
+def test_fix_rule_inventory_matches_registry():
+    """Every rule advertised as fixable has a fix fixture exercising it."""
+    from replint.fixes import FIXABLE_RULES
+
+    fixable = {rule.code for rule in RULES if rule.fixable}
+    assert fixable == set(FIXABLE_RULES) == set(FIX_FIXTURES)
 
 
 # ---------------------------------------------------------------------------

@@ -49,6 +49,21 @@ class Baseline:
         self._counts[key] = remaining - 1
         return True
 
+    def unconsumed(self) -> List[Tuple[str, str, str, int]]:
+        """Entries no finding matched this run, as (path, rule, line_hash, count).
+
+        After every analyzed finding has been offered to :meth:`consume`, a
+        positive remaining count means the baselined violation no longer
+        fires — the code was fixed (or moved) and the baseline entry is
+        stale.  CI fails on these so grandfathered debt shrinks monotonically
+        instead of silently shielding future regressions at the same key.
+        """
+        return [
+            (path, rule, line_hash, count)
+            for (path, rule, line_hash), count in sorted(self._counts.items())
+            if count > 0
+        ]
+
     # -- (de)serialisation ------------------------------------------------------
 
     @classmethod

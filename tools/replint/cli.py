@@ -29,8 +29,8 @@ def _build_parser() -> argparse.ArgumentParser:
             "and event-loop purity invariants for this repository."
         ),
     )
-    parser.add_argument("paths", nargs="*", default=["src", "tests"],
-                        help="files or directories to check (default: src tests)")
+    parser.add_argument("paths", nargs="*", default=["src", "tests", "tools"],
+                        help="files or directories to check (default: src tests tools)")
     parser.add_argument("--root", default=".", metavar="DIR",
                         help="repository root used for relative paths and scopes")
     parser.add_argument("--select", metavar="CODES",
@@ -169,6 +169,46 @@ def main(argv: "Optional[List[str]]" = None) -> int:
     else:
         _print_text(result, statistics=args.statistics)
 
+    stale = _stale_entries(baseline, select, paths, root)
+    for path, rule, line_hash, count in stale:
+        suffix = f" x{count}" if count > 1 else ""
+        print(
+            f"stale baseline entry: {path}: {rule} ({line_hash}){suffix} "
+            "no longer fires — refresh with --write-baseline",
+            file=sys.stderr,
+        )
+
     threshold = Severity.WARNING if args.strict else Severity.ERROR
     failing = [f for f in result.active if f.severity >= threshold]
-    return 1 if failing else 0
+    return 1 if failing or stale else 0
+
+
+def _stale_entries(
+    baseline: "Optional[Baseline]",
+    select: "Optional[Set[str]]",
+    paths: List[Path],
+    root: Path,
+) -> List:
+    """Baseline entries the run never matched (drift check).
+
+    Only meaningful for full-rule runs over paths that cover the entry:
+    a ``--select`` subset or a partial path list legitimately leaves other
+    entries unconsumed, so those are excluded rather than reported.
+    """
+    if baseline is None or select is not None:
+        return []
+    prefixes: List[str] = []
+    for p in paths:
+        try:
+            rel = p.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            rel = p.as_posix()
+        prefixes.append(rel)
+
+    def covered(entry_path: str) -> bool:
+        return any(
+            entry_path == pre or entry_path.startswith(pre.rstrip("/") + "/")
+            for pre in prefixes
+        )
+
+    return [e for e in baseline.unconsumed() if covered(e[0])]

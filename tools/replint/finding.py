@@ -239,6 +239,70 @@ RULES: Tuple[Rule, ...] = (
             "catalogued with kind=\"event\"."
         ),
     ),
+    Rule(
+        code="REP014",
+        name="queue-order-read",
+        severity=Severity.ERROR,
+        summary="same-timestamp callbacks must not read engine queue state",
+        rationale=(
+            "An event scheduled with zero delay (or at the current sim time) "
+            "runs in the same timestamp group as its scheduler, so its "
+            "position among simultaneous events is decided by the engine's "
+            "tie-break — which the determinism sanitizer deliberately "
+            "permutes and a future batched engine will not preserve. A "
+            "handler in that position that reads the engine's queue "
+            "introspection (pending_events, processed_events, heap_stats, "
+            "_queue, _seq) observes tie-break order directly, making its "
+            "behaviour a function of scheduling internals instead of "
+            "simulated time."
+        ),
+    ),
+    Rule(
+        code="REP015",
+        name="shared-class-state",
+        severity=Severity.ERROR,
+        summary="no mutable class attributes or defaults on node/protocol/attack classes",
+        rationale=(
+            "A list/dict/set assigned in a class body is one object shared "
+            "by every instance: every node (or attacker) in the network "
+            "reads and writes the same container, which is exactly the "
+            "cross-node aliased state the sanitizer's shared-state detector "
+            "hunts dynamically. Whether one node's write lands before "
+            "another node's read depends on event order. Initialise mutable "
+            "state per-instance in __init__."
+        ),
+    ),
+    Rule(
+        code="REP016",
+        name="hot-path-unordered",
+        severity=Severity.ERROR,
+        summary="set iteration in hot-path modules (engine/radio/channel) needs sorted()",
+        rationale=(
+            "sim/engine.py, net/radio.py and net/channel.py sit under every "
+            "event in every run, so an unordered set iteration there "
+            "perturbs every experiment at once. Unlike REP003 (which only "
+            "flags sets feeding scheduling or packet decisions), any bare "
+            "set iteration in these modules is an error: on the hot path "
+            "there is no cold side. Dict iteration is exempt — CPython "
+            "dicts iterate in insertion order, which is deterministic for a "
+            "deterministic run."
+        ),
+    ),
+    Rule(
+        code="REP017",
+        name="hot-path-allocation",
+        severity=Severity.WARNING,
+        summary="avoid slot-less dataclasses and per-event comprehension churn on hot paths",
+        rationale=(
+            "The engine and radio execute per event; a dataclass without "
+            "__slots__ there costs a dict per instance, and a comprehension "
+            "or list()/set()/dict() materialisation inside a loop allocates "
+            "per iteration of the innermost loop the simulation has. These "
+            "are warnings, not errors: measure first (the perf-smoke gate), "
+            "but the pattern is worth a look every time it appears in "
+            "sim/engine.py, net/radio.py or net/channel.py."
+        ),
+    ),
 )
 
 RULES_BY_CODE = {rule.code: rule for rule in RULES}

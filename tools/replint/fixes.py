@@ -22,7 +22,11 @@ from typing import List, Optional, Tuple
 
 from replint.suppress import SuppressionMap, collect_suppressions
 
-__all__ = ["fix_source"]
+__all__ = ["FIXABLE_RULES", "fix_source"]
+
+#: Rules fix_source knows how to rewrite mechanically; must agree with
+#: the ``fixable=True`` flags in the rule registry (tested).
+FIXABLE_RULES = frozenset({"REP006", "REP008"})
 
 
 @dataclass

@@ -908,6 +908,347 @@ def check_rep012(tree: ast.AST, ctx: FileContext) -> List[Finding]:
     return findings
 
 
+# ---------------------------------------------------------------------------
+# REP014 — queue-order-read
+# ---------------------------------------------------------------------------
+
+# Engine introspection surface whose value depends on the heap's tie-break
+# order among same-timestamp events.
+_QUEUE_INTROSPECTION = {
+    "pending_events", "processed_events", "heap_stats", "_queue", "_seq",
+}
+
+
+def _is_zero_delay(node: ast.expr) -> bool:
+    return isinstance(node, ast.Constant) and node.value in (0, 0.0)
+
+
+def _mentions_now(node: ast.expr) -> bool:
+    """Does a schedule_at time expression reference ``<...>.now``?"""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute) and sub.attr == "now":
+            return True
+        if isinstance(sub, ast.Name) and sub.id == "now":
+            return True
+    return False
+
+
+def check_rep014(tree: ast.AST, ctx: FileContext) -> List[Finding]:
+    """Same-timestamp callbacks that read engine queue introspection.
+
+    Detection: a function is a *same-timestamp handler* when its name is
+    the callback argument of a ``.schedule(0, ...)``/``.schedule(0.0, ...)``
+    call or of a ``.schedule_at(<...>.now, ...)`` call in the same module —
+    it will run inside the scheduling event's own timestamp group, where
+    order is pure tie-break.  Inside such handlers, any read of the
+    engine's queue introspection (pending_events, processed_events,
+    heap_stats, _queue, _seq) is flagged.  Callbacks smuggled through
+    variables and cross-module handlers are out of syntactic reach — the
+    schedule-perturbation harness is the dynamic backstop.
+    """
+    if ctx.in_tests:
+        return []
+    same_ts_handlers: Set[str] = set()
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)):
+            continue
+        if node.func.attr not in _SCHEDULE_METHODS or not node.args:
+            continue
+        when = node.args[0]
+        zero = (node.func.attr in ("schedule", "call_later")
+                and _is_zero_delay(when))
+        at_now = (node.func.attr in ("schedule_at", "call_at")
+                  and _mentions_now(when))
+        if zero or at_now:
+            same_ts_handlers.update(_callback_names(node))
+    if not same_ts_handlers:
+        return []
+
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if node.name not in same_ts_handlers:
+            continue
+        for inner in ast.walk(node):
+            if (isinstance(inner, ast.Attribute)
+                    and isinstance(inner.ctx, ast.Load)
+                    and inner.attr in _QUEUE_INTROSPECTION):
+                findings.append(_finding(
+                    "REP014", ctx, inner,
+                    f"'{node.name}' runs in its scheduler's timestamp group "
+                    f"(scheduled with zero delay / at sim.now) and reads "
+                    f"engine queue state '.{inner.attr}' — its value there "
+                    "is tie-break order, which the sanitizer permutes; "
+                    "derive the decision from simulated time or node state",
+                ))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# REP015 — shared-class-state
+# ---------------------------------------------------------------------------
+
+def _rep015_scoped(ctx: FileContext) -> bool:
+    """Modules whose classes are instantiated once per network participant."""
+    return ctx.in_src and any(
+        part in ctx.path for part in ("/net/", "/protocols/", "/attacks/")
+    )
+
+
+def check_rep015(tree: ast.AST, ctx: FileContext) -> List[Finding]:
+    """Mutable class-level attributes (and defaults) on per-node classes.
+
+    Scope: ``src`` modules under ``net/``, ``protocols/`` and ``attacks/``
+    — the classes instantiated once per network participant.  A mutable
+    container in a class body is shared by every instance; one per-node
+    class is all it takes to couple the whole network through event order.
+    ``__slots__`` and ``dataclasses.field(...)`` initialisers are exempt
+    (per-instance by construction).  Mutable *defaults* on these classes'
+    methods are also flagged here (they alias state across nodes the same
+    way), in addition to REP006's generic finding.
+    """
+    if not _rep015_scoped(ctx):
+        return []
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        for stmt in node.body:
+            if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                targets = (stmt.targets if isinstance(stmt, ast.Assign)
+                           else [stmt.target])
+                names = [t.id for t in targets if isinstance(t, ast.Name)]
+                if "__slots__" in names or stmt.value is None:
+                    continue
+                if _is_mutable_default(stmt.value):
+                    label = names[0] if names else "<attribute>"
+                    findings.append(_finding(
+                        "REP015", ctx, stmt,
+                        f"class attribute '{node.name}.{label}' is a mutable "
+                        "container shared by every instance — every node in "
+                        "the network reads/writes the same object; "
+                        "initialise it per-instance in __init__",
+                    ))
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                arguments = stmt.args
+                defaults = list(arguments.defaults) + [
+                    d for d in arguments.kw_defaults if d is not None
+                ]
+                for default in defaults:
+                    if _is_mutable_default(default):
+                        findings.append(_finding(
+                            "REP015", ctx, default,
+                            f"mutable default on '{node.name}.{stmt.name}' "
+                            "is shared across every node's calls — default "
+                            "to None and materialise per instance",
+                        ))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# REP016 — hot-path-unordered
+# ---------------------------------------------------------------------------
+
+_HOT_PATH_SUFFIXES = ("sim/engine.py", "net/radio.py", "net/channel.py")
+
+_SET_ANNOTATIONS = {"set", "Set", "typing.Set", "frozenset", "FrozenSet",
+                    "typing.FrozenSet"}
+
+
+def _is_hot_path(ctx: FileContext) -> bool:
+    return ctx.path.endswith(_HOT_PATH_SUFFIXES)
+
+
+def _annotation_is_set(annotation: Optional[ast.expr]) -> bool:
+    if annotation is None:
+        return False
+    target = annotation
+    if isinstance(target, ast.Subscript):
+        target = target.value
+    return _dotted(target) in _SET_ANNOTATIONS
+
+
+class _HotSetTracker(_SetTracker):
+    """REP003's tracker, extended to see ``self.<attr>`` sets and set-typed
+    parameters — the shapes that dominate hot-path modules."""
+
+    def __init__(self, ctx: FileContext, attr_sets: Set[str]):
+        super().__init__(ctx)
+        self._attr_sets = attr_sets
+
+    def _is_set_expr(self, node: ast.AST) -> bool:
+        if (isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+                and node.attr in self._attr_sets):
+            return True
+        return super()._is_set_expr(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._enter_scope()
+        for arg in node.args.posonlyargs + node.args.args + node.args.kwonlyargs:
+            if _annotation_is_set(arg.annotation):
+                self._set_names[-1].add(arg.arg)
+        self.generic_visit(node)
+        self._exit_scope()
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def _flag(self, node: ast.AST, what: str) -> None:
+        self.findings.append(_finding(
+            "REP016", self.ctx, node,
+            f"{what} iterates a set on the hot path — this module runs "
+            "under every event of every run; wrap the iterable in "
+            "sorted(...) or restructure around an ordered container",
+        ))
+
+
+def _module_attr_sets(tree: ast.AST) -> Set[str]:
+    """Attribute names assigned set values (or set annotations) anywhere."""
+    attrs: Set[str] = set()
+    probe = _SetTracker.__new__(_SetTracker)
+    probe._set_names = [set()]
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                        and probe._is_set_expr(node.value)):
+                    attrs.add(target.attr)
+        elif isinstance(node, ast.AnnAssign):
+            target = node.target
+            if (isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                    and _annotation_is_set(node.annotation)):
+                attrs.add(target.attr)
+    return attrs
+
+
+def check_rep016(tree: ast.AST, ctx: FileContext) -> List[Finding]:
+    """Unordered set iteration in hot-path modules.
+
+    REP003 already flags *local* set names feeding decisions anywhere in
+    src; this rule closes the attribute/parameter gap specifically for the
+    modules under every event (sim/engine.py, net/radio.py,
+    net/channel.py): iteration over ``self.<attr>`` sets and set-annotated
+    parameters.  Dict iteration is exempt — CPython dicts iterate in
+    insertion order, deterministic for a deterministic run.
+    """
+    if not _is_hot_path(ctx):
+        return []
+    tracker = _HotSetTracker(ctx, _module_attr_sets(tree))
+    tracker.visit(tree)
+    # REP003 flags local-name sets in these files too; keep only findings
+    # REP003 cannot see so one defect maps to one code.
+    rep003 = {(f.line, f.col) for f in check_rep003(tree, ctx)}
+    return [f for f in tracker.findings if (f.line, f.col) not in rep003]
+
+
+# ---------------------------------------------------------------------------
+# REP017 — hot-path-allocation
+# ---------------------------------------------------------------------------
+
+_MATERIALISERS = {"list", "set", "dict", "tuple", "frozenset"}
+
+
+def _dataclass_decorator(node: ast.ClassDef) -> Optional[ast.AST]:
+    """The @dataclass decorator of a class, or None."""
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        if _dotted(target) in ("dataclass", "dataclasses.dataclass"):
+            return dec
+    return None
+
+
+def _dataclass_has_slots(node: ast.ClassDef, decorator: ast.AST) -> bool:
+    if isinstance(decorator, ast.Call):
+        for kw in decorator.keywords:
+            if (kw.arg == "slots" and isinstance(kw.value, ast.Constant)
+                    and kw.value.value is True):
+                return True
+    for stmt in node.body:
+        if isinstance(stmt, ast.Assign):
+            if any(isinstance(t, ast.Name) and t.id == "__slots__"
+                   for t in stmt.targets):
+                return True
+    return False
+
+
+def check_rep017(tree: ast.AST, ctx: FileContext) -> List[Finding]:
+    """Allocation anti-patterns in hot-path modules (WARNING).
+
+    Two shapes, both scoped to sim/engine.py, net/radio.py and
+    net/channel.py: (a) a @dataclass without ``slots=True`` (or a manual
+    ``__slots__``) — a per-instance ``__dict__`` on a per-event object;
+    (b) a comprehension or list()/set()/dict()/tuple() materialiser inside
+    a loop body or inside a handler scheduled in this module — an
+    allocation per iteration of the innermost loop the simulation has.
+    Warnings, not errors: the perf gate measures, this rule points.
+    """
+    if not _is_hot_path(ctx):
+        return []
+    findings: List[Finding] = []
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            decorator = _dataclass_decorator(node)
+            if decorator is not None and not _dataclass_has_slots(node, decorator):
+                findings.append(_finding(
+                    "REP017", ctx, node,
+                    f"@dataclass '{node.name}' on the hot path has no "
+                    "slots — each instance carries a __dict__; add "
+                    "slots=True (or a __slots__ tuple) or move the class "
+                    "off the hot path",
+                ))
+
+    handler_names: Set[str] = set()
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _SCHEDULE_METHODS):
+            handler_names.update(_callback_names(node))
+
+    def _alloc_sites(body: Sequence[ast.stmt]) -> List[Tuple[ast.AST, str]]:
+        sites: List[Tuple[ast.AST, str]] = []
+        for stmt in body:
+            for sub in ast.walk(stmt):
+                if isinstance(sub, (ast.ListComp, ast.SetComp, ast.DictComp)):
+                    sites.append((sub, "comprehension"))
+                elif (isinstance(sub, ast.Call)
+                      and isinstance(sub.func, ast.Name)
+                      and sub.func.id in _MATERIALISERS
+                      and (sub.args or sub.keywords)):
+                    sites.append((sub, f"{sub.func.id}() materialiser"))
+        return sites
+
+    flagged: Set[Tuple[int, int]] = set()
+
+    def _flag(sub: ast.AST, what: str, where: str) -> None:
+        key = (getattr(sub, "lineno", 0), getattr(sub, "col_offset", 0))
+        if key in flagged:
+            return
+        flagged.add(key)
+        findings.append(_finding(
+            "REP017", ctx, sub,
+            f"{what} {where} on the hot path allocates per iteration/event "
+            "— hoist it, reuse a buffer, or justify with a suppression",
+        ))
+
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.For, ast.While)):
+            for sub, what in _alloc_sites(node.body):
+                _flag(sub, what, "inside a loop body")
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node.name in handler_names:
+                for sub, what in _alloc_sites(node.body):
+                    _flag(sub, what, f"in scheduled handler '{node.name}'")
+    return findings
+
+
 RULE_CHECKS: Dict[str, Callable[[ast.AST, FileContext], List[Finding]]] = {
     "REP001": check_rep001,
     "REP002": check_rep002,
@@ -922,6 +1263,10 @@ RULE_CHECKS: Dict[str, Callable[[ast.AST, FileContext], List[Finding]]] = {
     "REP011": check_rep011,
     "REP012": check_rep012,
     "REP013": check_rep013,
+    "REP014": check_rep014,
+    "REP015": check_rep015,
+    "REP016": check_rep016,
+    "REP017": check_rep017,
 }
 
 
