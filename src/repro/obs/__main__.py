@@ -7,16 +7,25 @@
     python -m repro.obs trace run.trace.jsonl
     python -m repro.obs perf-smoke --out BENCH_sim_core.json \\
         --manifest perf.manifest.json --trace perf.trace.jsonl \\
-        --chrome-trace perf.chrome.json --repeats 3
+        --chrome-trace perf.chrome.json --repeats 3 --warmup 1 \\
+        --history results/perf/history.jsonl
     python -m repro.obs check-invariants run.trace.jsonl
     python -m repro.obs analyze run.trace.jsonl --out analysis.json
     python -m repro.obs bench-compare BENCH_current.json BENCH_sim_core.json
+    python -m repro.obs bench-history results/perf/history.jsonl
+    python -m repro.obs watch results/telemetry/
+
+Exit codes: 0 success, 1 a gate failed (regression, violated invariant,
+empty history), 2 unusable input (missing file, malformed JSON).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
+from typing import Any, Dict, Optional
 
 from repro.obs.manifest import RunManifest
 from repro.obs.report import (
@@ -28,6 +37,27 @@ from repro.obs.report import (
 )
 
 __all__ = ["main"]
+
+_DEFAULT_BASELINE = "BENCH_sim_core.json"
+
+
+def _error(message: str) -> int:
+    print(f"error: {message}", file=sys.stderr)
+    return 2
+
+
+def _load_bench(path: str, role: str) -> Dict[str, Any]:
+    """Read one bench/baseline JSON; raises SystemExit-friendly ValueErrors."""
+    target = Path(path)
+    if not target.exists():
+        raise FileNotFoundError(f"{role} file not found: {path}")
+    try:
+        data = json.loads(target.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"malformed {role} JSON in {path}: {exc}") from exc
+    if not isinstance(data, dict):
+        raise ValueError(f"malformed {role} JSON in {path}: expected an object")
+    return data
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -63,6 +93,15 @@ def _build_parser() -> argparse.ArgumentParser:
     smoke.add_argument("--image-kib", type=int, default=4)
     smoke.add_argument("--repeats", type=int, default=1,
                        help="repeat the run and report median events/s")
+    smoke.add_argument("--warmup", type=int, default=1,
+                       help="discarded warmup repeats before measurement "
+                            "(default 1; keeps lazy-init cost out of stats)")
+    smoke.add_argument("--topology", default=None,
+                       help="run the multi-hop grid workload instead of the "
+                            "one-hop star (e.g. grid:15x15:3)")
+    smoke.add_argument("--history", default=None,
+                       help="append the bench record to this history JSONL "
+                            "(see bench-history)")
 
     check = sub.add_parser("check-invariants",
                            help="replay a JSONL trace against the protocol "
@@ -86,51 +125,133 @@ def _build_parser() -> argparse.ArgumentParser:
     compare.add_argument("baseline", help="committed baseline BENCH json")
     compare.add_argument("--tolerance", type=float, default=0.25,
                          help="allowed fractional slowdown (default 0.25)")
+
+    history = sub.add_parser(
+        "bench-history",
+        help="events/s trajectory per config from the append-only history "
+             "store (exit 1 when empty)")
+    history.add_argument("history", nargs="?",
+                         default="results/perf/history.jsonl",
+                         help="history JSONL (default results/perf/"
+                              "history.jsonl)")
+    history.add_argument("--baseline", default=None,
+                         help="committed baseline BENCH json for regression "
+                              f"flags (default {_DEFAULT_BASELINE} when "
+                              "present)")
+    history.add_argument("--config-filter", default=None,
+                         help="only show configs whose key contains this "
+                              "substring")
+
+    watch = sub.add_parser("watch",
+                           help="live view of a running campaign "
+                                "(reads <dir>/status.json)")
+    watch.add_argument("telemetry_dir",
+                       help="the campaign's --telemetry-dir")
+    watch.add_argument("--interval", type=float, default=1.0,
+                       help="poll period in seconds")
+    watch.add_argument("--once", action="store_true",
+                       help="render a single snapshot and exit")
+    watch.add_argument("--max-polls", type=int, default=None,
+                       help="stop after this many polls even if unfinished")
     return parser
 
 
 def main(argv=None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "report":
-        if args.diff:
-            a = RunManifest.load(args.diff[0])
-            b = RunManifest.load(args.diff[1])
-            print(diff_report(a, b, a_name=args.diff[0], b_name=args.diff[1]))
-            return 0
-        if len(args.manifest) != 1:
-            raise SystemExit("report takes one manifest file, or --diff A B")
-        print(manifest_summary(RunManifest.load(args.manifest[0]),
-                               top=args.top))
+        try:
+            if args.diff:
+                a = RunManifest.load(args.diff[0])
+                b = RunManifest.load(args.diff[1])
+                print(diff_report(a, b, a_name=args.diff[0],
+                                  b_name=args.diff[1]))
+                return 0
+            if len(args.manifest) != 1:
+                raise SystemExit("report takes one manifest file, or --diff A B")
+            print(manifest_summary(RunManifest.load(args.manifest[0]),
+                                   top=args.top))
+        except FileNotFoundError as exc:
+            return _error(f"manifest file not found: {exc.filename or exc}")
+        except (ValueError, KeyError) as exc:
+            return _error(f"malformed manifest: {exc}")
         return 0
     if args.command == "trace":
-        print(trace_summary(args.trace_file))
+        try:
+            print(trace_summary(args.trace_file))
+        except FileNotFoundError:
+            return _error(f"trace file not found: {args.trace_file}")
+        except ValueError as exc:
+            return _error(str(exc))
         return 0
     if args.command == "check-invariants":
         from repro.obs.invariants import check_jsonl
 
-        report = check_jsonl(args.trace_file)
+        try:
+            report = check_jsonl(args.trace_file)
+        except FileNotFoundError:
+            return _error(f"trace file not found: {args.trace_file}")
+        except ValueError as exc:
+            return _error(str(exc))
         print(report.summary())
         return 0 if report.ok else 1
     if args.command == "analyze":
         from repro.obs.analyze import analyze_jsonl, render_analysis
 
-        analysis = analyze_jsonl(args.trace_file, out=args.out,
-                                 stall_factor=args.stall_factor)
+        try:
+            analysis = analyze_jsonl(args.trace_file, out=args.out,
+                                     stall_factor=args.stall_factor)
+        except FileNotFoundError:
+            return _error(f"trace file not found: {args.trace_file}")
+        except ValueError as exc:
+            return _error(str(exc))
         print(render_analysis(analysis))
         if args.out:
             print(f"wrote {args.out}")
         return 0
     if args.command == "bench-compare":
-        ok, text = bench_compare(args.current, args.baseline,
-                                 tolerance=args.tolerance)
+        try:
+            current = _load_bench(args.current, "current bench")
+            baseline = _load_bench(args.baseline, "baseline bench")
+        except FileNotFoundError as exc:
+            return _error(str(exc))
+        except ValueError as exc:
+            return _error(str(exc))
+        ok, text = bench_compare(current, baseline, tolerance=args.tolerance)
         print(text)
         return 0 if ok else 1
+    if args.command == "bench-history":
+        from repro.obs.perf import bench_history_report, load_history
+
+        history = load_history(args.history)
+        if not history:
+            print(f"no recorded runs in {args.history}")
+            return 1
+        baseline: Optional[Dict[str, Any]] = None
+        baseline_path = args.baseline
+        if baseline_path is None and Path(_DEFAULT_BASELINE).exists():
+            baseline_path = _DEFAULT_BASELINE
+        if baseline_path is not None:
+            try:
+                baseline = _load_bench(baseline_path, "baseline bench")
+            except FileNotFoundError as exc:
+                return _error(str(exc))
+            except ValueError as exc:
+                return _error(str(exc))
+        print(bench_history_report(history, baseline=baseline,
+                                   config_filter=args.config_filter))
+        return 0
+    if args.command == "watch":
+        from repro.obs.telemetry import watch
+
+        return watch(args.telemetry_dir, interval_s=args.interval,
+                     once=args.once, max_polls=args.max_polls)
     if args.command == "perf-smoke":
         bench, profile_text = run_perf_smoke(
             args.out, manifest_out=args.manifest, trace_out=args.trace,
             chrome_out=args.chrome_trace, seed=args.seed,
             receivers=args.receivers, image_kib=args.image_kib,
-            repeats=args.repeats,
+            repeats=args.repeats, warmup=args.warmup,
+            topology=args.topology, history_out=args.history,
         )
         print(profile_text)
         print(f"wrote {args.out}: {bench['events']} events, "
@@ -142,6 +263,8 @@ def main(argv=None) -> int:
             print(f"wrote trace {args.trace} ({bench['trace_events']} events)")
         if args.chrome_trace:
             print(f"wrote chrome trace {args.chrome_trace}")
+        if args.history:
+            print(f"appended history record to {args.history}")
         return 0
     raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover
 

@@ -1,0 +1,283 @@
+"""Performance observatory: bench history, handler deltas, flamegraph export.
+
+This module turns the one-shot perf-smoke snapshot into an instrument panel:
+
+* an **append-only history store** (``results/perf/history.jsonl``) that
+  records every perf-smoke run — git rev, config key, throughput, heap and
+  per-handler stats — through :func:`repro.persist.atomic_append_jsonl`, so
+  the events/s *trajectory* across commits is first-class data rather than
+  something reconstructed from CI logs;
+* **per-handler delta analysis** (:func:`handler_mean_deltas`) shared by the
+  ``bench-compare`` gate and the ``bench-history`` report, so a regression
+  names the handler (and direction) instead of only the aggregate number;
+* **flamegraph export**: collapsed-stack output compatible with speedscope
+  and ``flamegraph.pl`` built from the profiler's per-(handler × kind)
+  buckets, plus Chrome ``trace_event`` counter tracks (heap occupancy,
+  cumulative handler wall time) derived from profiler samples.
+
+Together with ``repro.obs.profile`` this is a sanctioned profiling-primitive
+site (replint REP018).  Everything here returns data or strings; printing
+belongs to ``repro.obs.__main__``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+__all__ = [
+    "DEFAULT_HISTORY_PATH",
+    "config_key",
+    "history_record",
+    "append_history",
+    "load_history",
+    "handler_mean_deltas",
+    "bench_history_report",
+    "collapsed_stacks",
+    "write_flamegraph",
+    "chrome_counter_events",
+]
+
+DEFAULT_HISTORY_PATH = "results/perf/history.jsonl"
+
+# History-report trajectory flags: latest vs committed baseline.
+_FLAG_TOLERANCE = 0.10
+
+
+def config_key(config: Dict[str, Any]) -> str:
+    """Stable short key identifying one bench configuration.
+
+    Sorted ``k=v`` pairs, so two runs are on the same trajectory exactly when
+    their scenario knobs match (protocol, topology, image size, code rate...).
+    """
+    return ",".join(f"{k}={config[k]}" for k in sorted(config))
+
+
+def history_record(bench: Dict[str, Any]) -> Dict[str, Any]:
+    """The compact, append-friendly form of one perf-smoke bench dict."""
+    config = dict(bench.get("config", {}))
+    return {
+        "name": bench.get("name", "?"),
+        "config": config,
+        "config_key": config_key(config),
+        "git_rev": bench.get("git_rev"),
+        "created_utc": bench.get("created_utc"),
+        "events": bench.get("events"),
+        "events_per_s": bench.get("events_per_s"),
+        "wall_s": bench.get("wall_s"),
+        "repeats": bench.get("repeats", 1),
+        "heap": dict(bench.get("heap", {})),
+        "handlers": [dict(h) for h in bench.get("top_handlers", [])],
+    }
+
+
+def append_history(
+    path: Union[str, Path], bench: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Append one perf-smoke result to the history store; returns the record."""
+    from repro.persist import atomic_append_jsonl
+
+    record = history_record(bench)
+    atomic_append_jsonl(path, record)
+    return record
+
+
+def load_history(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """All recorded runs, file order (oldest first); [] when absent."""
+    from repro.persist import read_jsonl
+
+    return [r for r in read_jsonl(path) if isinstance(r, dict)]
+
+
+def handler_mean_deltas(
+    current: List[Dict[str, Any]],
+    baseline: List[Dict[str, Any]],
+) -> List[Tuple[str, float, float, float]]:
+    """Per-handler mean wall-time change: ``(name, base_us, cur_us, pct)``.
+
+    Only handlers present in both lists with a nonzero baseline mean are
+    comparable; ``pct`` is signed ((cur - base) / base), sorted most-regressed
+    first.
+    """
+    base_by_name = {
+        str(h.get("name")): h for h in baseline if h.get("mean_us")
+    }
+    deltas: List[Tuple[str, float, float, float]] = []
+    for h in current:
+        name = str(h.get("name"))
+        base = base_by_name.get(name)
+        if base is None:
+            continue
+        base_us = float(base["mean_us"])
+        cur_us = float(h.get("mean_us", 0.0))
+        deltas.append((name, base_us, cur_us, (cur_us - base_us) / base_us))
+    deltas.sort(key=lambda d: (-d[3], d[0]))
+    return deltas
+
+
+def _fmt_pct(pct: float) -> str:
+    return f"{pct * 100.0:+.1f}%"
+
+
+def bench_history_report(
+    history: List[Dict[str, Any]],
+    baseline: Optional[Dict[str, Any]] = None,
+    config_filter: Optional[str] = None,
+) -> str:
+    """Render the events/s trajectory per config, flagged against a baseline.
+
+    One table per distinct ``config_key`` (oldest run first, with per-run
+    delta vs the previous run), then — for the group matching the committed
+    baseline's config — a latest-vs-baseline verdict plus per-handler mean
+    deltas so a drift names its handler.
+    """
+    from repro.experiments.reporting import format_table
+
+    groups: Dict[str, List[Dict[str, Any]]] = {}
+    for record in history:
+        key = str(record.get("config_key", "?"))
+        if config_filter and config_filter not in key:
+            continue
+        groups.setdefault(key, []).append(record)
+    if not groups:
+        return "no recorded runs"
+    base_key = config_key(dict(baseline.get("config", {}))) if baseline else None
+    sections: List[str] = []
+    for key in sorted(groups):
+        records = groups[key]
+        rows: List[List[object]] = []
+        prev_eps: Optional[float] = None
+        for i, record in enumerate(records):
+            eps = float(record.get("events_per_s") or 0.0)
+            delta = (
+                "-" if prev_eps in (None, 0.0)
+                else _fmt_pct((eps - prev_eps) / prev_eps)  # type: ignore[operator]
+            )
+            rows.append([
+                i + 1,
+                record.get("created_utc") or "?",
+                record.get("git_rev") or "?",
+                record.get("events") or 0,
+                f"{eps:,.0f}",
+                delta,
+            ])
+            prev_eps = eps
+        sections.append(format_table(
+            ["run", "recorded", "rev", "events", "events/s", "vs prev"],
+            rows,
+            title=f"{key} — {len(records)} recorded run(s)",
+        ))
+        latest = records[-1]
+        reference: Optional[Dict[str, Any]] = None
+        reference_label = ""
+        if baseline is not None and key == base_key:
+            reference = {
+                "events_per_s": baseline.get("events_per_s"),
+                "handlers": baseline.get("top_handlers", []),
+                "label": f"committed baseline (rev {baseline.get('git_rev') or '?'})",
+            }
+            reference_label = str(reference["label"])
+        elif len(records) >= 2:
+            prior = records[-2]
+            reference = {
+                "events_per_s": prior.get("events_per_s"),
+                "handlers": prior.get("handlers", []),
+            }
+            reference_label = f"previous run (rev {prior.get('git_rev') or '?'})"
+        if reference is None:
+            continue
+        ref_eps = float(reference.get("events_per_s") or 0.0)
+        latest_eps = float(latest.get("events_per_s") or 0.0)
+        if ref_eps > 0:
+            pct = (latest_eps - ref_eps) / ref_eps
+            if pct <= -_FLAG_TOLERANCE:
+                verdict = "REGRESSION"
+            elif pct >= _FLAG_TOLERANCE:
+                verdict = "improvement"
+            else:
+                verdict = "steady"
+            sections.append(
+                f"latest vs {reference_label}: {_fmt_pct(pct)} ({verdict})"
+            )
+        deltas = handler_mean_deltas(
+            list(latest.get("handlers", [])),
+            list(reference.get("handlers", [])),
+        )
+        if deltas:
+            delta_rows: List[List[object]] = [
+                [name, round(base_us, 2), round(cur_us, 2), _fmt_pct(pct)]
+                for name, base_us, cur_us, pct in deltas
+            ]
+            sections.append(format_table(
+                ["handler", "ref mean_us", "latest mean_us", "delta"],
+                delta_rows,
+                title=f"per-handler mean wall time vs {reference_label}",
+            ))
+    return "\n\n".join(sections)
+
+
+# -- flamegraph / counter-track export ----------------------------------------
+
+
+def collapsed_stacks(profile: Dict[str, Any]) -> str:
+    """Collapsed-stack text from a profiler summary dict.
+
+    One ``frame;frame value`` line per bucket with integer-microsecond
+    values — the format speedscope and ``flamegraph.pl`` both ingest.  When
+    per-kind buckets exist each line is ``handler;kind``, giving a two-level
+    flame: handlers on the first level, packet kinds under them.
+    """
+    lines: List[str] = []
+    kinds = profile.get("kinds") or []
+    if kinds:
+        for bucket in kinds:
+            us = int(round(float(bucket.get("total_s", 0.0)) * 1e6))
+            if us <= 0:
+                continue
+            lines.append(f"{bucket.get('handler')};{bucket.get('kind')} {us}")
+    else:
+        for handler in profile.get("handlers", []):
+            us = int(round(float(handler.get("total_s", 0.0)) * 1e6))
+            if us <= 0:
+                continue
+            lines.append(f"{handler.get('name')} {us}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_flamegraph(path: Union[str, Path], profile: Dict[str, Any]) -> Path:
+    """Write collapsed stacks for speedscope / flamegraph.pl consumption."""
+    from repro.persist import atomic_write_text
+
+    return atomic_write_text(Path(path), collapsed_stacks(profile))
+
+
+def chrome_counter_events(
+    samples: List[Tuple[int, float, int]],
+    pid: int = 2,
+) -> List[Dict[str, Any]]:
+    """Chrome ``trace_event`` counter tracks from profiler samples.
+
+    Each ``(events, cumulative_wall_s, heap_len)`` sample becomes two ``ph:
+    "C"`` counters: event-heap occupancy and cumulative handler wall time.
+    Counters live in their own process (default pid 2, labelled as wall
+    time) because the profiler samples wall microseconds while the trace
+    events run on simulated time — mixing the two on one timeline would be
+    quietly wrong.
+    """
+    if not samples:
+        return []
+    events: List[Dict[str, Any]] = [
+        {"ph": "M", "pid": pid, "tid": 0, "name": "process_name",
+         "args": {"name": "profiler counters (wall time)"}},
+    ]
+    for processed, wall_s, heap_len in samples:
+        ts = wall_s * 1e6
+        events.append({
+            "ph": "C", "pid": pid, "tid": 0, "name": "sim.heap",
+            "ts": ts, "args": {"pending": heap_len},
+        })
+        events.append({
+            "ph": "C", "pid": pid, "tid": 0, "name": "sim.events",
+            "ts": ts, "args": {"processed": processed},
+        })
+    return events

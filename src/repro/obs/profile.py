@@ -6,20 +6,39 @@ name), tracks heap occupancy at every event, and summarises events/sec.
 The engine pays a single ``is None`` check per event when profiling is off —
 the zero-overhead-when-disabled contract the benchmarks rely on.
 
+Beyond plain per-handler attribution the profiler supports four opt-in
+deep-attribution modes (all off by default so the cheap path stays cheap):
+
+- ``warmup_calls=N`` — each handler's first N calls land in a separate
+  warmup bucket, excluded from means/max, so first-call lazy-init cost
+  (import, table construction) no longer skews steady-state numbers.
+- ``kinds=True`` — cost is additionally bucketed per (handler × event
+  kind), where the kind is classified from the event's first scheduled
+  argument (a radio transmission contributes its packet kind).  This is
+  what lets a regression report say "``radio.Radio._finish`` got slower
+  *for DATA packets*" instead of naming only the handler.
+- ``alloc=True`` — ``tracemalloc`` net-allocation deltas are attributed
+  per handler (the profiler starts/stops tracing itself unless tracing
+  is already active).
+- ``sample_every=N`` — every N recorded events a ``(events, wall_s,
+  heap_len)`` sample is appended, feeding Chrome-trace counter tracks.
+
 Together with ``experiments/reporting.py`` this module is a sanctioned
-wall-clock call site (replint REP002): profiling is *measurement about* the
-simulation, never an input to it.  :func:`utc_now_iso` lives here for the
-same reason — run manifests need a creation timestamp, and routing it
-through this module keeps the clock audit surface at two files.
+wall-clock call site (replint REP002), and with ``repro.obs.perf`` a
+sanctioned ``tracemalloc`` site (REP018): profiling is *measurement about*
+the simulation, never an input to it.  :func:`utc_now_iso` lives here for
+the same reason — run manifests need a creation timestamp, and routing it
+through this module keeps the clock audit surface small.
 """
 
 from __future__ import annotations
 
 import time
+import tracemalloc
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
-__all__ = ["HandlerStat", "LoopProfiler", "utc_now_iso"]
+__all__ = ["HandlerStat", "KindStat", "LoopProfiler", "utc_now_iso"]
 
 
 def utc_now_iso() -> str:
@@ -29,12 +48,29 @@ def utc_now_iso() -> str:
 
 @dataclass
 class HandlerStat:
-    """Accumulated cost of one event handler."""
+    """Accumulated cost of one event handler (steady state, post-warmup)."""
 
     name: str
     calls: int = 0
     total_s: float = 0.0
     max_s: float = 0.0
+    warmup_calls: int = 0
+    warmup_s: float = 0.0
+    alloc_b: int = 0
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.calls if self.calls else 0.0
+
+
+@dataclass
+class KindStat:
+    """Accumulated cost of one (handler × event kind) bucket."""
+
+    handler: str
+    kind: str
+    calls: int = 0
+    total_s: float = 0.0
 
     @property
     def mean_s(self) -> float:
@@ -50,27 +86,104 @@ def _handler_name(fn: Callable[..., Any]) -> str:
     return f"{short}.{name}" if short else str(name)
 
 
+def classify_kind(args: Tuple[Any, ...]) -> str:
+    """Best-effort event-kind label from a handler's scheduled arguments.
+
+    Domain-agnostic by construction (the engine knows no packet types):
+    a first argument carrying ``.frame.kind`` (radio transmissions) or
+    ``.kind`` contributes that kind's value; bare ints (node ids used by
+    pump/timer callbacks) classify as ``node``; anything else falls back
+    to its type name.
+    """
+    if not args:
+        return "-"
+    first = args[0]
+    kind = getattr(getattr(first, "frame", None), "kind", None)
+    if kind is None:
+        kind = getattr(first, "kind", None)
+    value = getattr(kind, "value", kind)
+    if isinstance(value, str) and value:
+        return value
+    if isinstance(first, bool):
+        return "-"
+    if isinstance(first, int):
+        return "node"
+    if isinstance(first, (tuple, list, dict, set, str, float, bytes)):
+        # Builtin containers/scalars carry no domain identity worth a bucket.
+        return "-"
+    return type(first).__name__.lstrip("_").lower()
+
+
 class LoopProfiler:
     """Per-handler wall-time and event-count attribution for one simulator."""
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        warmup_calls: int = 0,
+        kinds: bool = False,
+        alloc: bool = False,
+        sample_every: int = 0,
+    ) -> None:
         self.handlers: Dict[str, HandlerStat] = {}
         self.events = 0
+        self.warmup_events = 0
         self.total_s = 0.0
         self.peak_heap = 0
+        self.warmup_calls = warmup_calls
+        self.kind_buckets: Dict[Tuple[str, str], KindStat] = {}
+        self.samples: List[Tuple[int, float, int]] = []
+        self._kinds = kinds
+        self._sample_every = sample_every
         # Cache fn -> name: resolving __qualname__ per event would dominate
         # the cost of profiling tiny handlers.
         self._names: Dict[int, str] = {}
         self._cached_fns: Dict[int, Callable[..., Any]] = {}
+        # Allocation attribution: clock() is called exactly twice per event
+        # (start/end brackets), so keeping the last two traced-memory marks
+        # gives record() the per-event net delta without extra hooks.
+        self._alloc = False
+        self._owns_tracemalloc = False
+        self._mem_prev = 0
+        self._mem_cur = 0
+        self.alloc_peak_b = 0
+        if alloc:
+            self.start_alloc()
+
+    # -- allocation tracing lifecycle ------------------------------------------
+
+    def start_alloc(self) -> None:
+        """Enable per-handler net-allocation attribution via tracemalloc."""
+        if not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._owns_tracemalloc = True
+        self._alloc = True
+
+    def stop_alloc(self) -> None:
+        """Disable allocation attribution; stops tracing if we started it."""
+        if self._alloc:
+            self.alloc_peak_b = max(
+                self.alloc_peak_b, tracemalloc.get_traced_memory()[1]
+            )
+        self._alloc = False
+        if self._owns_tracemalloc and tracemalloc.is_tracing():
+            tracemalloc.stop()
+            self._owns_tracemalloc = False
 
     # -- the engine-facing hook (repro.sim.engine.SimProfiler) ----------------
 
     def clock(self) -> float:
+        if self._alloc:
+            self._mem_prev = self._mem_cur
+            self._mem_cur = tracemalloc.get_traced_memory()[0]
         return time.perf_counter()
 
-    def record(self, fn: Callable[..., Any], elapsed: float, heap_len: int) -> None:
-        self.events += 1
-        self.total_s += elapsed
+    def record(
+        self,
+        fn: Callable[..., Any],
+        args: Tuple[Any, ...],
+        elapsed: float,
+        heap_len: int,
+    ) -> None:
         if heap_len > self.peak_heap:
             self.peak_heap = heap_len
         # Bound methods are recreated per access; key the cache on the
@@ -86,16 +199,45 @@ class LoopProfiler:
         if stat is None:
             stat = HandlerStat(name)
             self.handlers[name] = stat
+        if stat.warmup_calls < self.warmup_calls:
+            # First-call lazy init (imports, table builds) is real cost but
+            # not steady-state cost; bucket it separately so means/max
+            # describe the behaviour a vectorisation PR actually changes.
+            stat.warmup_calls += 1
+            stat.warmup_s += elapsed
+            self.warmup_events += 1
+            return
+        self.events += 1
+        self.total_s += elapsed
         stat.calls += 1
         stat.total_s += elapsed
         if elapsed > stat.max_s:
             stat.max_s = elapsed
+        if self._alloc:
+            stat.alloc_b += self._mem_cur - self._mem_prev
+        if self._kinds:
+            kind = classify_kind(args)
+            bucket = self.kind_buckets.get((name, kind))
+            if bucket is None:
+                bucket = KindStat(name, kind)
+                self.kind_buckets[(name, kind)] = bucket
+            bucket.calls += 1
+            bucket.total_s += elapsed
+        if self._sample_every and self.events % self._sample_every == 0:
+            self.samples.append((self.events, self.total_s, heap_len))
 
     # -- reporting -------------------------------------------------------------
 
     def top_handlers(self, limit: Optional[int] = None) -> List[HandlerStat]:
         ranked = sorted(
             self.handlers.values(), key=lambda s: (-s.total_s, s.name)
+        )
+        return ranked if limit is None else ranked[:limit]
+
+    def top_kinds(self, limit: Optional[int] = None) -> List[KindStat]:
+        ranked = sorted(
+            self.kind_buckets.values(),
+            key=lambda s: (-s.total_s, s.handler, s.kind),
         )
         return ranked if limit is None else ranked[:limit]
 
@@ -120,6 +262,29 @@ class LoopProfiler:
                 for s in self.top_handlers()
             ],
         }
+        if self.warmup_calls:
+            out["warmup"] = {
+                "calls_per_handler": self.warmup_calls,
+                "events": self.warmup_events,
+                "wall_s": round(
+                    sum(s.warmup_s for s in self.handlers.values()), 6
+                ),
+            }
+        if self._kinds or self.kind_buckets:
+            out["kinds"] = [
+                {
+                    "handler": s.handler,
+                    "kind": s.kind,
+                    "calls": s.calls,
+                    "total_s": round(s.total_s, 6),
+                    "mean_us": round(s.mean_s * 1e6, 3),
+                }
+                for s in self.top_kinds()
+            ]
+        if self._alloc or self.alloc_peak_b:
+            for entry, s in zip(out["handlers"], self.top_handlers()):
+                entry["alloc_kb"] = round(s.alloc_b / 1024.0, 3)
+            out["alloc"] = {"traced_peak_kb": round(self.alloc_peak_b / 1024.0, 3)}
         if heap_stats is not None:
             out["heap"] = dict(heap_stats)
         return out
@@ -139,7 +304,19 @@ class LoopProfiler:
             f"{self.events_per_second():,.0f} events/s, "
             f"peak heap {self.peak_heap}"
         )
-        return format_table(
+        table = format_table(
             ["handler", "calls", "total_ms", "mean_us", "max_us"], rows,
             title=title,
         )
+        if not self.kind_buckets:
+            return table
+        kind_rows: List[List[object]] = [
+            [s.handler, s.kind, s.calls, round(s.total_s * 1e3, 3),
+             round(s.mean_s * 1e6, 2)]
+            for s in self.top_kinds(limit)
+        ]
+        kinds_table = format_table(
+            ["handler", "kind", "calls", "total_ms", "mean_us"], kind_rows,
+            title="per-event-kind attribution",
+        )
+        return table + "\n\n" + kinds_table

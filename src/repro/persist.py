@@ -27,6 +27,7 @@ __all__ = [
     "atomic_write_text",
     "atomic_write_json",
     "atomic_write_jsonl",
+    "atomic_append_jsonl",
     "read_jsonl",
 ]
 
@@ -82,6 +83,30 @@ def atomic_write_jsonl(path: Union[str, Path], records: Iterable[Any]) -> Path:
     lines = [json.dumps(record, sort_keys=True) for record in records]
     text = "\n".join(lines) + "\n" if lines else ""
     return atomic_write_text(path, text)
+
+
+def atomic_append_jsonl(path: Union[str, Path], record: Any) -> Path:
+    """Append one JSON record to a JSONL file durably.
+
+    Unlike :func:`atomic_write_jsonl`, this does not rewrite the file — it is
+    meant for append-only stores that outlive single runs (the bench history
+    at ``results/perf/history.jsonl``).  The record is serialised to a single
+    line first, then written with one ``O_APPEND`` write and fsynced.  POSIX
+    makes small O_APPEND writes atomic with respect to other appenders, and a
+    crash mid-write can at worst leave one torn *trailing* line, which
+    :func:`read_jsonl` already tolerates — earlier records are never damaged.
+    """
+    target = Path(path)
+    if target.parent and not target.parent.exists():
+        target.parent.mkdir(parents=True, exist_ok=True)
+    line = json.dumps(record, sort_keys=True) + "\n"
+    fd = os.open(str(target), os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, line.encode("utf-8"))
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+    return target
 
 
 def read_jsonl(path: Union[str, Path]) -> List[Any]:

@@ -8,6 +8,7 @@ scheduling order, which keeps runs deterministic for a fixed seed.
 from __future__ import annotations
 
 import heapq
+import weakref
 from typing import Any, Callable, Dict, List, Optional, Protocol, Tuple
 
 from repro.errors import SimulationError, SimulationRunawayError
@@ -18,6 +19,7 @@ __all__ = [
     "Simulator",
     "set_default_watchdog",
     "get_default_watchdog",
+    "current_simulator",
 ]
 
 # Process-wide watchdog defaults picked up by every Simulator constructed
@@ -41,6 +43,25 @@ def get_default_watchdog() -> Tuple[Optional[int], Optional[float]]:
     return _DEFAULT_WATCHDOG
 
 
+# Weak reference to the most recently *running* Simulator in this process.
+# Telemetry heartbeat threads (repro.obs.telemetry) sample processed_events /
+# now through this without any runner plumbing; a weakref keeps the engine
+# from pinning finished simulations alive.
+_CURRENT_SIM: "Optional[weakref.ref[Simulator]]" = None
+
+
+def current_simulator() -> "Optional[Simulator]":
+    """The simulator currently (or most recently) inside :meth:`Simulator.run`.
+
+    Returns ``None`` when no simulator has run in this process or the last
+    one has been garbage-collected.  Reads are lock-free: ``now`` and
+    ``processed_events`` are single attribute loads, safe to sample from a
+    heartbeat thread even while the run loop is executing.
+    """
+    ref = _CURRENT_SIM
+    return ref() if ref is not None else None
+
+
 class SimProfiler(Protocol):
     """What the engine needs from a profiler (see ``repro.obs.profile``).
 
@@ -52,8 +73,8 @@ class SimProfiler(Protocol):
 
     def clock(self) -> float: ...
 
-    def record(self, fn: Callable[..., Any], elapsed: float,
-               heap_len: int) -> None: ...
+    def record(self, fn: Callable[..., Any], args: Tuple[Any, ...],
+               elapsed: float, heap_len: int) -> None: ...
 
 
 class Event:
@@ -160,7 +181,10 @@ class Simulator:
         """Install (or with None, remove) a per-event profiling hook.
 
         The profiler's ``clock`` brackets each handler call and ``record``
-        receives the handler, its elapsed wall time, and the heap length.
+        receives the handler, its scheduled arguments, its elapsed wall
+        time, and the heap length.  The argument tuple lets profilers
+        attribute cost per event *kind* (e.g. which packet type a radio
+        delivery carried) without the engine knowing any domain types.
         Wall time is measurement *about* the simulation, never an input to
         it — simulated time stays exclusively on :attr:`now`.
         """
@@ -218,6 +242,8 @@ class Simulator:
         if self._running:
             raise SimulationError("Simulator.run() is not reentrant")
         self._running = True
+        global _CURRENT_SIM
+        _CURRENT_SIM = weakref.ref(self)
         executed = 0
         profiler = self._profiler
         try:
@@ -252,7 +278,8 @@ class Simulator:
                     start = profiler.clock()
                     event.fn(*event.args)
                     profiler.record(
-                        event.fn, profiler.clock() - start, len(self._queue)
+                        event.fn, event.args,
+                        profiler.clock() - start, len(self._queue),
                     )
                 executed += 1
                 self._processed += 1

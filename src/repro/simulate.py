@@ -128,7 +128,16 @@ def _build_parser() -> argparse.ArgumentParser:
     obs = parser.add_argument_group("observability")
     obs.add_argument("--profile", action="store_true",
                      help="attach the event-loop profiler and print the "
-                          "per-handler wall-time table")
+                          "per-handler (and per-event-kind) wall-time tables")
+    obs.add_argument("--profile-warmup", type=int, default=0, metavar="N",
+                     help="exclude each handler's first N calls from the "
+                          "profile (lazy-init cost lands in a warmup bucket)")
+    obs.add_argument("--profile-alloc", action="store_true",
+                     help="with --profile: attribute tracemalloc net "
+                          "allocations per handler")
+    obs.add_argument("--flamegraph", default=None, metavar="STACKS.txt",
+                     help="with --profile: write collapsed stacks "
+                          "(speedscope / flamegraph.pl compatible)")
     obs.add_argument("--trace-out", default=None, metavar="TRACE.jsonl",
                      help="write the structured event trace (JSONL)")
     obs.add_argument("--chrome-trace", default=None, metavar="TRACE.json",
@@ -271,8 +280,19 @@ def main(argv=None) -> int:
     profiler = None
     if args.profile:
         from repro.obs.profile import LoopProfiler
-        profiler = LoopProfiler()
+        # Kinds are on whenever the profiler is: they feed the flamegraph's
+        # second level and the per-kind report table.  Sampling feeds the
+        # Chrome counter tracks when a timeline is requested.
+        profiler = LoopProfiler(
+            warmup_calls=args.profile_warmup,
+            kinds=True,
+            alloc=args.profile_alloc,
+            sample_every=50 if args.chrome_trace else 0,
+        )
         sim.set_profiler(profiler)
+    elif args.flamegraph or args.profile_alloc or args.profile_warmup:
+        raise SystemExit(
+            "--flamegraph/--profile-alloc/--profile-warmup require --profile")
 
     with stopwatch() as elapsed:
         if adversarial:
@@ -342,16 +362,26 @@ def main(argv=None) -> int:
         # Topology map + per-link accounting summary land in the trace
         # before it is flushed and written.
         flight.finalize(sim.now)
+    if profiler is not None and args.profile_alloc:
+        profiler.stop_alloc()
     if log is not None:
         log.flush_open_spans(sim.now)
         if args.trace_out:
             log.write_jsonl(args.trace_out)
             print(f"wrote trace:     {args.trace_out} ({len(log)} events)")
         if args.chrome_trace:
-            log.write_chrome_trace(args.chrome_trace)
+            extra = None
+            if profiler is not None and profiler.samples:
+                from repro.obs.perf import chrome_counter_events
+                extra = chrome_counter_events(profiler.samples)
+            log.write_chrome_trace(args.chrome_trace, extra_events=extra)
             print(f"wrote timeline:  {args.chrome_trace}")
     if profiler is not None:
         print(profiler.report())
+        if args.flamegraph:
+            from repro.obs.perf import write_flamegraph
+            write_flamegraph(args.flamegraph, profiler.summary())
+            print(f"wrote flamegraph stacks: {args.flamegraph}")
     if args.manifest:
         from repro.obs.manifest import RunManifest
         profile_summary = (

@@ -1,0 +1,130 @@
+"""Exit-code and error-path contract of ``python -m repro.obs``.
+
+Convention under test: 0 success, 1 a gate failed (regression, violation,
+empty history), 2 unusable input (missing file, malformed JSON).
+"""
+
+import json
+
+from repro.obs.__main__ import main
+
+
+def bench_dict(eps=1000.0, events=500):
+    return {
+        "name": "sim_core_perf_smoke",
+        "config": {"protocol": "lr-seluge", "receivers": 2, "image_kib": 2},
+        "git_rev": "aaa",
+        "created_utc": "2026-08-08T00:00:00Z",
+        "events": events,
+        "events_per_s": eps,
+        "wall_s": events / eps,
+        "top_handlers": [],
+    }
+
+
+def write_json(path, payload):
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    return str(path)
+
+
+# ---------------------------------------------------------------------------
+# Unusable input -> exit 2
+# ---------------------------------------------------------------------------
+
+def test_report_missing_and_malformed_manifest(tmp_path, capsys):
+    assert main(["report", str(tmp_path / "absent.json")]) == 2
+    assert "not found" in capsys.readouterr().err
+
+    broken = tmp_path / "broken.json"
+    broken.write_text("{not json", encoding="utf-8")
+    assert main(["report", str(broken)]) == 2
+    assert "malformed manifest" in capsys.readouterr().err
+
+
+def test_trace_commands_report_missing_files(tmp_path, capsys):
+    missing = str(tmp_path / "absent.trace.jsonl")
+    for command in ("trace", "check-invariants", "analyze"):
+        assert main([command, missing]) == 2
+        assert "trace file not found" in capsys.readouterr().err
+
+
+def test_bench_compare_missing_and_malformed_inputs(tmp_path, capsys):
+    current = write_json(tmp_path / "cur.json", bench_dict())
+    assert main(["bench-compare", current,
+                 str(tmp_path / "absent.json")]) == 2
+    assert "baseline bench file not found" in capsys.readouterr().err
+
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json", encoding="utf-8")
+    assert main(["bench-compare", current, str(bad)]) == 2
+    assert "malformed baseline bench JSON" in capsys.readouterr().err
+
+    not_object = write_json(tmp_path / "list.json", [1, 2, 3])
+    assert main(["bench-compare", not_object, current]) == 2
+    assert "expected an object" in capsys.readouterr().err
+
+
+def test_bench_history_malformed_baseline(tmp_path, capsys):
+    history = tmp_path / "history.jsonl"
+    history.write_text(json.dumps({
+        "config_key": "a=1", "events_per_s": 1000.0, "events": 10,
+    }) + "\n", encoding="utf-8")
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json", encoding="utf-8")
+    assert main(["bench-history", str(history), "--baseline", str(bad)]) == 2
+    assert "malformed baseline bench JSON" in capsys.readouterr().err
+
+
+def test_watch_missing_status_file(tmp_path, capsys):
+    assert main(["watch", str(tmp_path / "nodir"), "--once"]) == 2
+    assert "no status file" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# Gate failures -> exit 1
+# ---------------------------------------------------------------------------
+
+def test_bench_compare_gate_pass_and_fail(tmp_path, capsys):
+    base = write_json(tmp_path / "base.json", bench_dict(eps=1000.0))
+    same = write_json(tmp_path / "same.json", bench_dict(eps=990.0))
+    slow = write_json(tmp_path / "slow.json", bench_dict(eps=600.0))
+
+    assert main(["bench-compare", same, base]) == 0
+    assert "PASS" in capsys.readouterr().out
+
+    assert main(["bench-compare", slow, base]) == 1
+    assert "FAIL" in capsys.readouterr().out
+
+    assert main(["bench-compare", slow, base, "--tolerance", "0.9"]) == 0
+
+
+def test_bench_history_empty_store(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)  # keep the repo's committed baseline out
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("", encoding="utf-8")
+    assert main(["bench-history", str(empty)]) == 1
+    assert "no recorded runs" in capsys.readouterr().out
+    assert main(["bench-history", str(tmp_path / "absent.jsonl")]) == 1
+
+
+# ---------------------------------------------------------------------------
+# Happy path: perf-smoke feeds the history store feeds bench-history
+# ---------------------------------------------------------------------------
+
+def test_perf_smoke_appends_history_and_bench_history_renders(
+        tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    out = tmp_path / "BENCH.json"
+    history = tmp_path / "history.jsonl"
+    argv = ["perf-smoke", "--out", str(out), "--receivers", "2",
+            "--image-kib", "2", "--warmup", "0",
+            "--history", str(history)]
+    assert main(argv) == 0
+    assert main(argv) == 0
+    assert "appended history record" in capsys.readouterr().out
+
+    assert main(["bench-history", str(history),
+                 "--baseline", str(out)]) == 0
+    text = capsys.readouterr().out
+    assert "2 recorded run(s)" in text
+    assert "committed baseline" in text

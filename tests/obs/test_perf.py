@@ -1,0 +1,201 @@
+"""Performance observatory: history store, handler deltas, flame export."""
+
+import json
+
+from repro.obs.perf import (
+    append_history,
+    bench_history_report,
+    chrome_counter_events,
+    collapsed_stacks,
+    config_key,
+    handler_mean_deltas,
+    history_record,
+    load_history,
+)
+
+
+def bench(eps=1000.0, rev="aaa", handlers=None, **config_overrides):
+    config = {"protocol": "lr-seluge", "receivers": 2, "image_kib": 4}
+    config.update(config_overrides)
+    return {
+        "name": "sim_core_perf_smoke",
+        "config": config,
+        "git_rev": rev,
+        "created_utc": "2026-08-08T00:00:00Z",
+        "events": 500,
+        "events_per_s": eps,
+        "wall_s": 500.0 / eps,
+        "repeats": 1,
+        "heap": {"pending": 0},
+        "top_handlers": handlers if handlers is not None else [
+            {"name": "radio.Radio._finish", "calls": 100, "total_s": 0.02,
+             "mean_us": 200.0, "max_us": 900.0},
+        ],
+    }
+
+
+# ---------------------------------------------------------------------------
+# Config keys and the history store
+# ---------------------------------------------------------------------------
+
+def test_config_key_is_sorted_and_value_sensitive():
+    key = config_key({"b": 2, "a": 1})
+    assert key == "a=1,b=2"
+    assert config_key({"a": 1, "b": 2}) == key  # insertion order irrelevant
+    assert config_key({"a": 1, "b": 3}) != key
+
+
+def test_history_record_compacts_a_bench_dict():
+    record = history_record(bench(eps=1234.5, rev="abc"))
+    assert record["config_key"] == config_key(bench()["config"])
+    assert record["events_per_s"] == 1234.5
+    assert record["git_rev"] == "abc"
+    assert record["handlers"][0]["name"] == "radio.Radio._finish"
+    # Missing fields degrade to None/defaults, never KeyError.
+    sparse = history_record({})
+    assert sparse["name"] == "?"
+    assert sparse["repeats"] == 1
+
+
+def test_append_history_is_append_only(tmp_path):
+    path = tmp_path / "history.jsonl"
+    append_history(path, bench(eps=1000.0, rev="aaa"))
+    first_bytes = path.read_bytes()
+    append_history(path, bench(eps=1100.0, rev="bbb"))
+    # The second append leaves the first record byte-identical in place.
+    assert path.read_bytes().startswith(first_bytes)
+    records = load_history(path)
+    assert [r["git_rev"] for r in records] == ["aaa", "bbb"]
+    assert [r["events_per_s"] for r in records] == [1000.0, 1100.0]
+
+
+def test_load_history_tolerates_missing_file_and_torn_tail(tmp_path):
+    assert load_history(tmp_path / "absent.jsonl") == []
+    path = tmp_path / "history.jsonl"
+    append_history(path, bench(rev="aaa"))
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write('{"torn": ')  # simulated crash mid-append
+    records = load_history(path)
+    assert [r["git_rev"] for r in records] == ["aaa"]
+
+
+# ---------------------------------------------------------------------------
+# Per-handler deltas
+# ---------------------------------------------------------------------------
+
+def test_handler_mean_deltas_sorted_most_regressed_first():
+    baseline = [
+        {"name": "a", "mean_us": 100.0},
+        {"name": "b", "mean_us": 200.0},
+        {"name": "only_in_base", "mean_us": 50.0},
+        {"name": "zero", "mean_us": 0.0},
+    ]
+    current = [
+        {"name": "a", "mean_us": 150.0},   # +50%
+        {"name": "b", "mean_us": 100.0},   # -50%
+        {"name": "zero", "mean_us": 10.0},  # zero baseline: not comparable
+        {"name": "only_in_cur", "mean_us": 5.0},
+    ]
+    deltas = handler_mean_deltas(current, baseline)
+    assert [d[0] for d in deltas] == ["a", "b"]
+    assert deltas[0][3] == 0.5
+    assert deltas[1][3] == -0.5
+
+
+# ---------------------------------------------------------------------------
+# The trajectory report
+# ---------------------------------------------------------------------------
+
+def test_bench_history_report_renders_trajectory_and_baseline_verdict():
+    history = [
+        history_record(bench(eps=1000.0, rev="aaa")),
+        history_record(bench(eps=800.0, rev="bbb", handlers=[
+            {"name": "radio.Radio._finish", "calls": 100, "total_s": 0.03,
+             "mean_us": 300.0, "max_us": 900.0},
+        ])),
+    ]
+    text = bench_history_report(history, baseline=bench(eps=1000.0, rev="aaa"))
+    assert "2 recorded run(s)" in text
+    assert "-20.0%" in text                      # run 2 vs run 1
+    assert "REGRESSION" in text                  # latest vs committed baseline
+    assert "committed baseline (rev aaa)" in text
+    assert "radio.Radio._finish" in text         # per-handler delta table
+    assert "+50.0%" in text                      # 200us -> 300us
+
+
+def test_bench_history_report_without_baseline_uses_previous_run():
+    history = [
+        history_record(bench(eps=1000.0, rev="aaa")),
+        history_record(bench(eps=1500.0, rev="bbb")),
+    ]
+    text = bench_history_report(history)
+    assert "previous run (rev aaa)" in text
+    assert "improvement" in text
+
+
+def test_bench_history_report_groups_and_filters_by_config():
+    history = [
+        history_record(bench(eps=1000.0, rev="aaa")),
+        history_record(bench(eps=500.0, rev="bbb", receivers=16)),
+    ]
+    both = bench_history_report(history)
+    assert both.count("recorded run(s)") == 2
+    only = bench_history_report(history, config_filter="receivers=16")
+    assert only.count("recorded run(s)") == 1
+    assert bench_history_report(history, config_filter="nope") == (
+        "no recorded runs"
+    )
+
+
+def test_bench_history_report_baseline_ignored_for_other_configs():
+    history = [history_record(bench(eps=1000.0, rev="aaa", receivers=16))]
+    text = bench_history_report(history, baseline=bench(eps=2000.0, rev="zzz"))
+    # One run, different config from the baseline: no verdict to render.
+    assert "committed baseline" not in text
+    assert "REGRESSION" not in text
+
+
+# ---------------------------------------------------------------------------
+# Flamegraph / counter-track export
+# ---------------------------------------------------------------------------
+
+def test_collapsed_stacks_prefers_kind_buckets():
+    profile = {
+        "handlers": [{"name": "radio.Radio._finish", "total_s": 0.003}],
+        "kinds": [
+            {"handler": "radio.Radio._finish", "kind": "data",
+             "total_s": 0.002},
+            {"handler": "radio.Radio._finish", "kind": "snack",
+             "total_s": 0.001},
+            {"handler": "noop", "kind": "-", "total_s": 0.0},  # dropped
+        ],
+    }
+    text = collapsed_stacks(profile)
+    assert "radio.Radio._finish;data 2000\n" in text
+    assert "radio.Radio._finish;snack 1000\n" in text
+    assert "noop" not in text
+    # Every line is "frames <integer>" — the collapsed format contract.
+    for line in text.strip().splitlines():
+        frames, value = line.rsplit(" ", 1)
+        assert frames and int(value) > 0
+
+
+def test_collapsed_stacks_falls_back_to_handlers():
+    profile = {"handlers": [{"name": "engine.step", "total_s": 0.001}]}
+    assert collapsed_stacks(profile) == "engine.step 1000\n"
+    assert collapsed_stacks({"handlers": []}) == ""
+
+
+def test_chrome_counter_events_live_on_their_own_process():
+    samples = [(50, 0.001, 7), (100, 0.002, 3)]
+    events = chrome_counter_events(samples)
+    assert events[0]["ph"] == "M"
+    assert "wall time" in events[0]["args"]["name"]
+    counters = [e for e in events if e["ph"] == "C"]
+    assert len(counters) == 4  # two tracks per sample
+    assert {e["pid"] for e in events} == {2}
+    heap = [e for e in counters if e["name"] == "sim.heap"]
+    assert [e["args"]["pending"] for e in heap] == [7, 3]
+    assert heap[0]["ts"] == 1000.0  # wall seconds -> microseconds
+    json.dumps(events)  # must be serialisable as-is
+    assert chrome_counter_events([]) == []

@@ -1,8 +1,14 @@
 """Event-loop profiler: handler attribution through the engine hook."""
 
 import re
+import tracemalloc
 
-from repro.obs.profile import HandlerStat, LoopProfiler, utc_now_iso
+from repro.obs.profile import (
+    HandlerStat,
+    LoopProfiler,
+    classify_kind,
+    utc_now_iso,
+)
 from repro.sim.engine import Simulator
 
 
@@ -94,3 +100,163 @@ def test_handler_stat_mean():
 
 def test_utc_now_iso_shape():
     assert re.fullmatch(r"\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}Z", utc_now_iso())
+
+
+# ---------------------------------------------------------------------------
+# Warmup exclusion
+# ---------------------------------------------------------------------------
+
+def test_warmup_calls_are_excluded_from_steady_state(sim):
+    profiler = LoopProfiler(warmup_calls=2)
+    sim.set_profiler(profiler)
+    worker = Worker(sim)
+    for i in range(5):
+        sim.schedule(1.0 + i, worker.fast)
+    sim.run()
+    fast = next(s for name, s in profiler.handlers.items()
+                if name.endswith("Worker.fast"))
+    assert fast.warmup_calls == 2
+    assert fast.calls == 3                  # steady-state only
+    assert profiler.events == 3
+    assert profiler.warmup_events == 2
+    summary = profiler.summary()
+    assert summary["events"] == 3
+    assert summary["warmup"]["calls_per_handler"] == 2
+    assert summary["warmup"]["events"] == 2
+
+
+def test_warmup_default_is_off(sim):
+    profiler = LoopProfiler()
+    sim.set_profiler(profiler)
+    sim.schedule(1.0, Worker(sim).fast)
+    sim.run()
+    assert profiler.warmup_events == 0
+    assert "warmup" not in profiler.summary()
+
+
+# ---------------------------------------------------------------------------
+# Event-kind classification and buckets
+# ---------------------------------------------------------------------------
+
+class _Kind:
+    def __init__(self, value):
+        self.value = value
+
+
+class _Frame:
+    def __init__(self, value):
+        self.kind = _Kind(value)
+
+
+class _Transmission:
+    """Shape of a radio transmission: .frame.kind.value."""
+
+    def __init__(self, value):
+        self.frame = _Frame(value)
+
+
+class _Timer:
+    pass
+
+
+def test_classify_kind_shapes():
+    assert classify_kind(()) == "-"
+    assert classify_kind((_Transmission("data"),)) == "data"
+    assert classify_kind((_Frame("snack"),)) == "snack"  # bare .kind
+    assert classify_kind((7,)) == "node"
+    assert classify_kind((True,)) == "-"                # bool is not a node id
+    assert classify_kind(((1, 2),)) == "-"              # builtin containers
+    assert classify_kind(("label",)) == "-"
+    assert classify_kind((_Timer(),)) == "timer"        # type-name fallback
+
+
+def test_kind_buckets_split_one_handler_by_packet_kind(sim):
+    profiler = LoopProfiler(kinds=True)
+    sim.set_profiler(profiler)
+    seen = []
+    handler = seen.append
+    sim.schedule(1.0, handler, _Transmission("data"))
+    sim.schedule(2.0, handler, _Transmission("data"))
+    sim.schedule(3.0, handler, _Transmission("snack"))
+    sim.run()
+    by_kind = {kind: s for (_name, kind), s in profiler.kind_buckets.items()}
+    assert by_kind["data"].calls == 2
+    assert by_kind["snack"].calls == 1
+    summary = profiler.summary()
+    assert {k["kind"] for k in summary["kinds"]} == {"data", "snack"}
+    assert "per-event-kind attribution" in profiler.report()
+
+
+def test_kind_buckets_off_by_default(sim):
+    profiler = LoopProfiler()
+    sim.set_profiler(profiler)
+    sim.schedule(1.0, (lambda _x: None), _Transmission("data"))
+    sim.run()
+    assert profiler.kind_buckets == {}
+    assert "kinds" not in profiler.summary()
+
+
+# ---------------------------------------------------------------------------
+# Allocation attribution
+# ---------------------------------------------------------------------------
+
+def test_alloc_attribution_charges_the_allocating_handler(sim):
+    was_tracing = tracemalloc.is_tracing()
+    profiler = LoopProfiler(alloc=True)
+    sim.set_profiler(profiler)
+    sink = []
+
+    def allocator():
+        sink.append(bytearray(64 * 1024))
+
+    def thrifty():
+        pass
+
+    sim.schedule(1.0, allocator)
+    sim.schedule(2.0, thrifty)
+    sim.run()
+    profiler.stop_alloc()
+    # The profiler started tracing, so it must also have stopped it.
+    assert tracemalloc.is_tracing() == was_tracing
+    stats = {name.rsplit(".", 1)[-1]: s for name, s in profiler.handlers.items()}
+    assert stats["allocator"].alloc_b > 32 * 1024
+    assert stats["thrifty"].alloc_b < stats["allocator"].alloc_b
+    summary = profiler.summary()
+    assert summary["alloc"]["traced_peak_kb"] > 0
+    assert all("alloc_kb" in h for h in summary["handlers"])
+
+
+def test_alloc_off_keeps_summary_lean(sim):
+    profiler = LoopProfiler()
+    sim.set_profiler(profiler)
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    summary = profiler.summary()
+    assert "alloc" not in summary
+    assert "alloc_kb" not in summary["handlers"][0]
+
+
+# ---------------------------------------------------------------------------
+# Sampling for counter tracks
+# ---------------------------------------------------------------------------
+
+def test_sample_every_collects_monotonic_samples(sim):
+    profiler = LoopProfiler(sample_every=3)
+    sim.set_profiler(profiler)
+    for i in range(10):
+        sim.schedule(1.0 + i, lambda: None)
+    sim.run()
+    assert len(profiler.samples) == 3  # events 3, 6, 9
+    events = [s[0] for s in profiler.samples]
+    assert events == [3, 6, 9]
+    walls = [s[1] for s in profiler.samples]
+    assert walls == sorted(walls)
+    assert all(heap >= 0 for _e, _w, heap in profiler.samples)
+
+
+def test_sampling_off_by_default(sim):
+    profiler = LoopProfiler()
+    sim.set_profiler(profiler)
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert profiler.samples == []

@@ -159,6 +159,51 @@ def test_bench_compare_gates_on_regression():
     assert ok
 
 
+def test_run_perf_smoke_warmup_and_history(tmp_path):
+    bench_path = tmp_path / "BENCH.json"
+    history_path = tmp_path / "history.jsonl"
+    bench, _report = run_perf_smoke(
+        bench_path, seed=1, receivers=2, image_kib=2, warmup=1,
+        history_out=history_path,
+    )
+    assert bench["warmup"] == 1
+
+    from repro.obs.perf import config_key, load_history
+    records = load_history(history_path)
+    assert len(records) == 1
+    assert records[0]["events_per_s"] == bench["events_per_s"]
+    assert records[0]["config_key"] == config_key(bench["config"])
+
+    with pytest.raises(ValueError):
+        run_perf_smoke(bench_path, warmup=-1)
+    with pytest.raises(ValueError):
+        run_perf_smoke(bench_path, repeats=0)
+
+
+def test_run_perf_smoke_grid_topology(tmp_path):
+    bench_path = tmp_path / "BENCH_grid.json"
+    bench, report = run_perf_smoke(
+        bench_path, seed=1, image_kib=2, topology="grid:3x3:2",
+    )
+    assert bench["name"] == "sim_grid_perf_smoke"
+    assert bench["config"]["topology"] == "grid:3x3:2"
+    assert "receivers" not in bench["config"]
+    assert bench["completed"] is True
+    assert "event-loop profile" in report
+
+
+def test_run_perf_smoke_excludes_first_call_outliers(tmp_path):
+    """Each handler's first call per repeat lands in the warmup bucket, so
+    max_us reflects steady-state cost, not one-time lazy init."""
+    bench, _report = run_perf_smoke(tmp_path / "BENCH.json", seed=1,
+                                    receivers=2, image_kib=2)
+    for handler in bench["top_handlers"]:
+        # With warmup_calls=1 the steady-state call count excludes one call
+        # per handler; a handler observed only once contributes no stats.
+        assert handler["calls"] >= 1
+        assert handler["max_us"] >= handler["mean_us"] > 0
+
+
 def test_bench_compare_notes_workload_changes_and_empty_baselines(tmp_path):
     base = {"events_per_s": 1000.0, "events": 500}
     changed = {"events_per_s": 900.0, "events": 800}
@@ -175,3 +220,58 @@ def test_bench_compare_notes_workload_changes_and_empty_baselines(tmp_path):
     base_path.write_text(json.dumps(base))
     ok, text = bench_compare(cur_path, base_path)
     assert ok and "ratio:" in text
+
+
+def _bench_with_handlers(eps, handlers, events=500):
+    return {
+        "events_per_s": eps,
+        "events": events,
+        "top_handlers": [
+            {"name": name, "calls": 10, "total_s": mean_us * 10 / 1e6,
+             "mean_us": mean_us, "max_us": mean_us * 2}
+            for name, mean_us in handlers
+        ],
+    }
+
+
+def test_bench_compare_per_handler_warn_and_fail():
+    base = _bench_with_handlers(1000.0, [("radio", 100.0), ("timer", 50.0)])
+
+    warned = _bench_with_handlers(1000.0, [("radio", 140.0), ("timer", 50.0)])
+    ok, text = bench_compare(warned, base)
+    assert ok
+    assert "WARN handler radio" in text
+    assert "FAIL handler" not in text
+
+    # A handler blowing through the fail limit sinks the gate even when the
+    # aggregate throughput still passes.
+    regressed = _bench_with_handlers(1000.0, [("radio", 200.0),
+                                              ("timer", 50.0)])
+    ok, text = bench_compare(regressed, base)
+    assert not ok
+    assert "FAIL handler radio" in text
+    assert "+100%" in text
+
+    # Speedups are never flagged.
+    faster = _bench_with_handlers(1000.0, [("radio", 20.0), ("timer", 50.0)])
+    ok, text = bench_compare(faster, base)
+    assert ok and "handler" not in text.replace("per-handler", "")
+
+
+def test_bench_compare_handler_gate_skipped_on_workload_change():
+    base = _bench_with_handlers(1000.0, [("radio", 100.0)], events=500)
+    changed = _bench_with_handlers(1000.0, [("radio", 500.0)], events=900)
+    ok, text = bench_compare(changed, base)
+    assert ok  # no per-handler comparison across different workloads
+    assert "per-handler gate skipped (workload changed)" in text
+
+
+def test_bench_compare_handler_limits_adjustable():
+    base = _bench_with_handlers(1000.0, [("radio", 100.0)])
+    hot = _bench_with_handlers(1000.0, [("radio", 160.0)])
+    ok, text = bench_compare(hot, base, handler_fail=0.65)
+    assert ok and "WARN handler radio" in text  # 60% > warn, < raised fail
+    ok, text = bench_compare(hot, base, handler_warn=0.7, handler_fail=0.8)
+    assert ok and "WARN handler" not in text
+    ok, _text = bench_compare(hot, base, handler_fail=0.5)
+    assert not ok

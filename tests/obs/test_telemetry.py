@@ -1,0 +1,204 @@
+"""Campaign telemetry: hub snapshots, the watch view, executor heartbeats."""
+
+import json
+import time
+
+from repro.experiments.executor import CampaignConfig, Task, run_campaign
+from repro.obs.telemetry import (
+    STATUS_FILENAME,
+    TelemetryHub,
+    render_status,
+    watch,
+)
+
+
+# Module-level runners so the supervised (multiprocessing) mode can pickle.
+
+def double(payload):
+    return payload["x"] * 2
+
+
+def slow_double(payload):
+    # Long enough to span several heartbeat intervals.
+    time.sleep(0.25)
+    return payload["x"] * 2
+
+
+def task(key, runner, x=0):
+    return Task(key=key, runner=runner, payload={"x": x}, label=key)
+
+
+# ---------------------------------------------------------------------------
+# TelemetryHub
+# ---------------------------------------------------------------------------
+
+def test_hub_lifecycle_counts_and_snapshot(tmp_path):
+    hub = TelemetryHub(tmp_path, total=4, write_every_s=0.0)
+    hub.task_resumed("r1")
+    hub.task_started("a", "cell a")
+    hub.task_started("b", "cell b")
+    hub.task_done("a")
+    hub.task_quarantined("b")
+    status = hub.status()
+    assert status["schema"] == 1
+    assert status["total"] == 4
+    assert status["done"] == 2          # one fresh + one resumed
+    assert status["resumed"] == 1
+    assert status["quarantined"] == 1
+    assert status["running"] == []
+    assert status["eta_s"] is not None  # 1 fresh cell done, 1 remaining
+    hub.close()
+    written = json.loads((tmp_path / STATUS_FILENAME).read_text())
+    assert written["done"] == 2
+
+
+def test_hub_eta_needs_a_fresh_completion(tmp_path):
+    hub = TelemetryHub(tmp_path, total=2, write_every_s=0.0)
+    assert hub.status()["eta_s"] is None
+    hub.task_resumed("r1")  # resumed cells cost nothing: still no basis
+    assert hub.status()["eta_s"] is None
+    hub.close()
+
+
+def test_hub_heartbeat_derives_events_per_second(tmp_path):
+    hub = TelemetryHub(tmp_path, total=1, write_every_s=0.0)
+    hub.task_started("a", "cell a")
+    hub.heartbeat("a", {"events": 100, "wall_s": 1.0, "sim_time_s": 5.0})
+    assert "events_per_s" not in hub.running["a"]  # needs two beats
+    hub.heartbeat("a", {"events": 300, "wall_s": 2.0, "sim_time_s": 9.0})
+    entry = hub.running["a"]
+    assert entry["events_per_s"] == 200.0
+    assert entry["sim_time_s"] == 9.0
+    # A late beat for a worker already classified is dropped silently.
+    hub.heartbeat("ghost", {"events": 1, "wall_s": 1.0})
+    assert "ghost" not in hub.running
+    status = hub.status()
+    assert status["running"][0]["key"] == "a"
+    hub.close()
+
+
+def test_hub_retry_clears_the_running_entry(tmp_path):
+    hub = TelemetryHub(tmp_path, total=1, write_every_s=0.0)
+    hub.task_started("a", "cell a")
+    hub.task_retrying("a")
+    assert hub.running == {}
+    assert hub.done == 0
+    hub.close()
+
+
+def test_hub_throttles_intermediate_writes(tmp_path):
+    hub = TelemetryHub(tmp_path, total=3, write_every_s=3600.0)
+    hub.task_started("a", "cell a")  # throttled: nothing forced yet
+    for i in range(20):
+        hub.heartbeat("a", {"events": i, "wall_s": float(i)})
+    assert not (tmp_path / STATUS_FILENAME).exists()
+    hub.task_done("a")               # lifecycle edges force a write
+    assert (tmp_path / STATUS_FILENAME).exists()
+    hub.close()
+
+
+# ---------------------------------------------------------------------------
+# Rendering and the watch loop
+# ---------------------------------------------------------------------------
+
+def _status(total=4, done=2, running=(), eta=12.5, quarantined=0):
+    return {
+        "schema": 1,
+        "updated_utc": "2026-08-08T00:00:00Z",
+        "elapsed_s": 3.2,
+        "total": total,
+        "done": done,
+        "resumed": 0,
+        "quarantined": quarantined,
+        "running": list(running),
+        "eta_s": eta,
+    }
+
+
+def test_render_status_panel_and_worker_table():
+    text = render_status(_status(running=[
+        {"key": "a", "label": "grid 15x15", "events": 1200,
+         "sim_time_s": 4.5, "events_per_s": 9000.0},
+    ]))
+    assert "2/4" in text
+    assert "eta 12.5s" in text
+    assert "running workers" in text
+    assert "grid 15x15" in text
+    assert "9000" in text
+    bare = render_status(_status(running=[], eta=None))
+    assert "eta -" in bare
+    assert "running workers" not in bare
+
+
+def test_watch_exit_codes(tmp_path, capsys):
+    assert watch(tmp_path / "nodir", once=True) == 2
+    assert "no status file" in capsys.readouterr().out
+
+    bad = tmp_path / "bad"
+    bad.mkdir()
+    (bad / STATUS_FILENAME).write_text("{not json", encoding="utf-8")
+    assert watch(bad, once=True) == 2
+    assert "unreadable status file" in capsys.readouterr().out
+
+    good = tmp_path / "good"
+    good.mkdir()
+    (good / STATUS_FILENAME).write_text(
+        json.dumps(_status(total=2, done=2, eta=None)), encoding="utf-8")
+    assert watch(good, once=True) == 0
+    assert "campaign progress" in capsys.readouterr().out
+
+
+def test_watch_polls_until_finished_or_budget(tmp_path, capsys):
+    live = tmp_path / "live"
+    live.mkdir()
+    (live / STATUS_FILENAME).write_text(
+        json.dumps(_status(total=4, done=1)), encoding="utf-8")
+    # Unfinished campaign: the poll budget, not completion, ends the loop.
+    assert watch(live, interval_s=0.01, max_polls=3) == 0
+    assert capsys.readouterr().out.count("campaign progress") == 3
+
+
+# ---------------------------------------------------------------------------
+# Executor integration
+# ---------------------------------------------------------------------------
+
+def test_inline_campaign_publishes_status(tmp_path):
+    telemetry = tmp_path / "telemetry"
+    outcome = run_campaign(
+        [task(f"t{i}", double, x=i) for i in range(3)],
+        CampaignConfig(telemetry_dir=telemetry),
+    )
+    assert outcome.report.completed == 3
+    status = json.loads((telemetry / STATUS_FILENAME).read_text())
+    assert status["done"] == status["total"] == 3
+    assert status["running"] == []
+
+
+def test_supervised_campaign_with_heartbeats_completes(tmp_path):
+    telemetry = tmp_path / "telemetry"
+    outcome = run_campaign(
+        [task(f"t{i}", slow_double, x=i) for i in range(2)],
+        CampaignConfig(processes=2, telemetry_dir=telemetry,
+                       heartbeat_s=0.05),
+    )
+    assert outcome.results == {"t0": 0, "t1": 2}
+    status = json.loads((telemetry / STATUS_FILENAME).read_text())
+    assert status["done"] == 2
+    assert status["quarantined"] == 0
+
+
+def test_heartbeats_without_telemetry_dir_are_harmless():
+    outcome = run_campaign(
+        [task("t0", slow_double, x=3)],
+        CampaignConfig(processes=1, heartbeat_s=0.05),
+    )
+    assert outcome.results == {"t0": 6}
+
+
+def test_campaign_config_rejects_negative_heartbeat():
+    import pytest
+
+    from repro.errors import ConfigError
+
+    with pytest.raises(ConfigError):
+        CampaignConfig(heartbeat_s=-1.0)

@@ -178,8 +178,8 @@ class CountingProfiler:
         self.ticks += 1
         return float(self.ticks)
 
-    def record(self, fn, elapsed, heap_len):
-        self.records.append((fn, elapsed, heap_len))
+    def record(self, fn, args, elapsed, heap_len):
+        self.records.append((fn, args, elapsed, heap_len))
 
 
 def test_profiler_hook_sees_every_executed_event(sim):
@@ -196,8 +196,9 @@ def test_profiler_hook_sees_every_executed_event(sim):
     # Exactly one record per *executed* event; cancelled events cost nothing.
     assert len(profiler.records) == 2
     assert profiler.ticks == 4  # clock read before and after each handler
-    for fn, elapsed, heap_len in profiler.records:
+    for fn, event_args, elapsed, heap_len in profiler.records:
         assert fn is append
+        assert event_args in (("a",), ("b",))  # scheduled args, for kind buckets
         assert elapsed == 1.0  # deterministic clock: end - start
         assert heap_len >= 0
 

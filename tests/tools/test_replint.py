@@ -1047,6 +1047,107 @@ def test_rep017_is_scoped_to_hot_modules():
 
 
 # ---------------------------------------------------------------------------
+# REP018 — unsanctioned-profiling
+# ---------------------------------------------------------------------------
+
+def test_rep018_flags_tracemalloc_import_and_calls():
+    findings = run(
+        """
+        import tracemalloc
+
+        def measure(fn):
+            tracemalloc.start()
+            fn()
+            peak = tracemalloc.get_traced_memory()[1]
+            tracemalloc.stop()
+            return peak
+        """
+    )
+    # the import plus each of the three driving calls
+    assert codes(findings).count("REP018") == 4
+
+
+def test_rep018_flags_aliased_tracemalloc_and_from_import():
+    findings = run(
+        """
+        import tracemalloc as tm
+        from tracemalloc import start
+
+        def measure():
+            tm.start()
+        """
+    )
+    assert codes(findings).count("REP018") == 3
+
+
+def test_rep018_flags_bare_from_imported_clock_calls():
+    findings = run(
+        """
+        from time import perf_counter
+        from time import monotonic as mono
+
+        def stamp():
+            return perf_counter() + mono()
+        """,
+        select={"REP018"},
+    )
+    assert codes(findings).count("REP018") == 2
+
+
+def test_rep018_dotted_clock_stays_rep002_territory():
+    findings = run(
+        """
+        import time
+
+        def stamp():
+            return time.perf_counter()
+        """
+    )
+    assert "REP002" in codes(findings)
+    assert "REP018" not in codes(findings)
+
+
+def test_rep018_allows_profiler_stack_and_tests():
+    for sanctioned in ("src/repro/obs/profile.py", "src/repro/obs/perf.py"):
+        findings = run(
+            """
+            import tracemalloc
+            from time import perf_counter
+
+            def clock():
+                tracemalloc.start()
+                return perf_counter()
+            """,
+            relpath=sanctioned,
+        )
+        assert codes(findings) == []
+
+    in_tests = run(
+        """
+        import tracemalloc
+
+        def test_alloc():
+            assert not tracemalloc.is_tracing()
+        """,
+        relpath="tests/obs/test_profile.py",
+    )
+    assert "REP018" not in codes(in_tests)
+
+
+def test_rep018_allows_non_clock_time_imports():
+    findings = run(
+        """
+        from time import sleep
+
+        def pause():
+            sleep(0.1)
+        """,
+        select={"REP018"},
+    )
+    assert codes(findings) == []
+
+
+# ---------------------------------------------------------------------------
 # Parse errors
 # ---------------------------------------------------------------------------
 

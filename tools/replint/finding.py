@@ -303,6 +303,22 @@ RULES: Tuple[Rule, ...] = (
             "sim/engine.py, net/radio.py or net/channel.py."
         ),
     ),
+    Rule(
+        code="REP018",
+        name="unsanctioned-profiling",
+        severity=Severity.ERROR,
+        summary="no tracemalloc or from-imported clock calls outside the profiler stack",
+        rationale=(
+            "Profiling instrumentation must stay behind the sanctioned "
+            "hooks in src/repro/obs/profile.py and src/repro/obs/perf.py. "
+            "tracemalloc tracing is process-global — one stray start()/"
+            "stop() corrupts every allocation measurement in flight — and "
+            "a from-imported perf_counter() is the same wall-clock leak "
+            "REP002 bans, in a spelling its dotted-name matching cannot "
+            "see. Route timing through reporting.stopwatch() and "
+            "allocation attribution through LoopProfiler(alloc=True)."
+        ),
+    ),
 )
 
 RULES_BY_CODE = {rule.code: rule for rule in RULES}

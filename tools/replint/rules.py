@@ -145,12 +145,17 @@ class FileContext:
     def clock_sanctioned(self) -> bool:
         """Modules allowed to read the wall clock.
 
-        Two, by design: the CLI stopwatch shim and the event-loop profiler
+        Three, by design: the CLI stopwatch shim and the profiler stack
         (measurement *about* the simulation, never an input to it).
         """
         return self.path.endswith(
-            ("experiments/reporting.py", "obs/profile.py")
+            ("experiments/reporting.py", "obs/profile.py", "obs/perf.py")
         )
+
+    @property
+    def profiling_sanctioned(self) -> bool:
+        """The profiler stack: the only modules allowed to touch tracemalloc."""
+        return self.path.endswith(("obs/profile.py", "obs/perf.py"))
 
 
 def _finding(code: str, ctx: FileContext, node: ast.AST, message: str) -> Finding:
@@ -1249,6 +1254,92 @@ def check_rep017(tree: ast.AST, ctx: FileContext) -> List[Finding]:
     return findings
 
 
+# ---------------------------------------------------------------------------
+# REP018 — unsanctioned-profiling
+# ---------------------------------------------------------------------------
+
+# Clock entry points of the time module by *bare* name, the spelling REP002's
+# dotted-name matching cannot see once they are from-imported.
+_BARE_CLOCK_NAMES = {
+    "time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+    "perf_counter_ns", "process_time", "process_time_ns",
+}
+
+
+def check_rep018(tree: ast.AST, ctx: FileContext) -> List[Finding]:
+    """tracemalloc use, and from-imported clock calls, outside the profilers.
+
+    Two gaps this closes over REP002: (a) ``tracemalloc`` — starting or
+    stopping allocation tracing is process-global state that perturbs every
+    other measurement in flight, so it belongs exclusively to the profiler
+    stack (``obs/profile.py``, ``obs/perf.py``), which manages the tracing
+    lifecycle and exposes results through sanctioned hooks; (b) ``from time
+    import perf_counter`` followed by a bare ``perf_counter()`` call — the
+    dotted spelling is REP002's territory, but the from-imported form slips
+    past its name matching.  Tests are exempt (they may assert about the
+    profiler's own tracemalloc handling).  Aliased imports are tracked;
+    values smuggled through attributes remain out of syntactic reach.
+    """
+    if ctx.in_tests:
+        return []
+    findings: List[Finding] = []
+    clock_aliases: Dict[str, str] = {}
+    tracemalloc_names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom):
+            if node.module == "time":
+                for alias in node.names:
+                    if alias.name in _BARE_CLOCK_NAMES:
+                        clock_aliases[alias.asname or alias.name] = alias.name
+            elif node.module == "tracemalloc" and not ctx.profiling_sanctioned:
+                findings.append(_finding(
+                    "REP018", ctx, node,
+                    "tracemalloc imported outside the profiler stack — "
+                    "allocation tracing is process-global; use "
+                    "LoopProfiler(alloc=True) from repro.obs.profile",
+                ))
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "tracemalloc":
+                    tracemalloc_names.add(alias.asname or alias.name)
+                    if not ctx.profiling_sanctioned:
+                        findings.append(_finding(
+                            "REP018", ctx, node,
+                            "tracemalloc imported outside the profiler stack "
+                            "— allocation tracing is process-global; use "
+                            "LoopProfiler(alloc=True) from repro.obs.profile",
+                        ))
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = _dotted(node.func)
+        if dotted is None:
+            continue
+        head = dotted.partition(".")[0]
+        if (
+            "." in dotted
+            and head in tracemalloc_names
+            and not ctx.profiling_sanctioned
+        ):
+            findings.append(_finding(
+                "REP018", ctx, node,
+                f"{dotted}() mutates process-global allocation tracing — "
+                "only the profiler stack (obs/profile.py, obs/perf.py) may "
+                "drive tracemalloc",
+            ))
+        elif dotted in clock_aliases and not ctx.clock_sanctioned:
+            origin = clock_aliases[dotted]
+            findings.append(_finding(
+                "REP018", ctx, node,
+                f"bare {dotted}() reads the wall clock (from time import "
+                f"{origin}) — simulation logic must be a pure function of "
+                "(config, seed); for CLI timing use "
+                "repro.experiments.reporting.stopwatch(), for profiling use "
+                "repro.obs.profile.LoopProfiler",
+            ))
+    return findings
+
+
 RULE_CHECKS: Dict[str, Callable[[ast.AST, FileContext], List[Finding]]] = {
     "REP001": check_rep001,
     "REP002": check_rep002,
@@ -1267,6 +1358,7 @@ RULE_CHECKS: Dict[str, Callable[[ast.AST, FileContext], List[Finding]]] = {
     "REP015": check_rep015,
     "REP016": check_rep016,
     "REP017": check_rep017,
+    "REP018": check_rep018,
 }
 
 
