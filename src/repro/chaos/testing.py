@@ -1,0 +1,50 @@
+"""Test-suite glue: inject storage faults into any code under test.
+
+The fixture style is a plain contextmanager rather than a pytest plugin so
+non-pytest callers (scripts, the CLI) can use it too::
+
+    from repro.chaos.testing import faulty_fs
+    from repro.chaos.schedule import FaultSpec
+
+    with faulty_fs(FaultSpec(kind="enospc", op="write")) as fs:
+        hub.task_done("cell-1")          # status write hits ENOSPC
+    assert fs.op_counts()["write"] >= 1
+
+Every :class:`FaultSpec` defaults to ``once=True``, so a spec fires on the
+first matching op and then stands down — the common "one bad write, then
+the disk recovers" shape.  Pass a full :class:`FaultSchedule` for rate-
+driven or multi-fault scenarios.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional, Union
+
+from repro.chaos.fs import FaultyFS
+from repro.chaos.schedule import FaultSchedule, FaultSpec
+from repro.persist import use_fs
+
+__all__ = ["faulty_fs"]
+
+
+@contextmanager
+def faulty_fs(
+    *specs: FaultSpec,
+    schedule: Optional[FaultSchedule] = None,
+    crash_at: Optional[int] = None,
+    crash_mode: str = "before",
+) -> Iterator[FaultyFS]:
+    """Install a :class:`FaultyFS` over ``repro.persist`` for the block.
+
+    Accepts either loose :class:`FaultSpec` objects (wrapped into a
+    schedule) or a prebuilt ``schedule``; ``crash_at`` arms an in-process
+    kill at that op index, same as the explorer's crash points.
+    """
+    if specs and schedule is not None:
+        raise ValueError("pass FaultSpecs or a schedule, not both")
+    if schedule is None and specs:
+        schedule = FaultSchedule(specs=list(specs))
+    fs = FaultyFS(schedule=schedule, crash_at=crash_at, crash_mode=crash_mode)
+    with use_fs(fs):
+        yield fs

@@ -10,6 +10,7 @@ __all__ = [
     "DecodeError",
     "AuthenticationError",
     "ConfigError",
+    "PersistError",
     "ProtocolError",
 ]
 
@@ -60,6 +61,32 @@ class AuthenticationError(ReproError):
 
 class ConfigError(ReproError):
     """Inconsistent or out-of-range configuration values."""
+
+
+class PersistError(ReproError):
+    """A durable write through :mod:`repro.persist` failed.
+
+    Raised instead of a bare :class:`OSError` when the sanctioned persistence
+    layer cannot complete a write — typically ENOSPC or EIO from the real
+    filesystem, or an injected fault from the storage chaos engine.  The
+    structured payload says *how far* the write got: ``partial_bytes > 0``
+    on an append means a torn trailing record may now exist on disk (which
+    the next append repairs), while ``partial_bytes == 0`` means the target
+    file is untouched.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path: Optional[str] = None,
+        partial_bytes: Optional[int] = None,
+        errno: Optional[int] = None,
+    ) -> None:
+        super().__init__(message)
+        self.path = path
+        self.partial_bytes = partial_bytes
+        self.errno = errno
 
 
 class ProtocolError(ReproError):

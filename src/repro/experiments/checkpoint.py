@@ -13,10 +13,21 @@ directory:
   with the full failure taxonomy (kind, error, traceback, backoff waits) so
   a campaign postmortem needs no log spelunking.
 
-Both journals are rewritten through :func:`repro.persist.atomic_write_jsonl`
-(write-temp-then-rename + fsync) on every update, so no kill — not even
-SIGKILL mid-write — can tear a record.  The journal is single-writer by
-design: one campaign process owns a checkpoint directory at a time.
+Both journals are **append-only** during a run: each record lands through
+:func:`repro.persist.atomic_append_jsonl` — one fsynced ``O_APPEND`` write,
+O(record) instead of the full-file rewrite the first implementation paid per
+cell.  A kill mid-append can at worst leave one torn *trailing* line, which
+the loader tolerates (and which the next append truncates away before
+writing).  Periodic **compaction** — last-wins dedup by key, rewritten
+through :func:`repro.persist.atomic_write_jsonl`'s temp-then-rename path —
+bounds journal growth under heavy resume churn; a crash at any point during
+compaction leaves either the old appended journal or the new compacted one
+on disk, never a mix.  The storage chaos engine (:mod:`repro.chaos`)
+explores a simulated kill at every one of these persist operations,
+including mid-compaction, and asserts resume stays byte-identical.
+
+The journal is single-writer by design: one campaign process owns a
+checkpoint directory at a time.
 """
 
 from __future__ import annotations
@@ -24,11 +35,31 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
-from repro.persist import atomic_write_jsonl, read_jsonl
+from repro.persist import (
+    JsonlReport,
+    atomic_append_jsonl,
+    atomic_write_jsonl,
+    read_jsonl_report,
+)
 
-__all__ = ["CHECKPOINT_SCHEMA_VERSION", "CampaignCheckpoint"]
+__all__ = ["CHECKPOINT_SCHEMA_VERSION", "DEFAULT_COMPACT_EVERY",
+           "CampaignCheckpoint"]
 
 CHECKPOINT_SCHEMA_VERSION = 1
+
+# Appended records between automatic compactions.  Large enough that a
+# normal campaign never compacts mid-run (cells are journalled once each);
+# the chaos workload dials it down to force compaction into the explored
+# operation stream.
+DEFAULT_COMPACT_EVERY = 1024
+
+
+def _valid_records(report: JsonlReport) -> List[Dict[str, Any]]:
+    return [
+        r for r in report.records
+        if isinstance(r, dict)
+        and r.get("schema_version") == CHECKPOINT_SCHEMA_VERSION
+    ]
 
 
 class CampaignCheckpoint:
@@ -36,26 +67,45 @@ class CampaignCheckpoint:
 
     ``resume=False`` starts a fresh journal (truncating any stale one in the
     directory); ``resume=True`` loads the existing records so the executor
-    can skip already-completed tasks.
+    can skip already-completed tasks.  On resume, a journal left dirty by a
+    crash — torn tail, or duplicate keys from a cell that completed twice
+    around a kill — is healed by an immediate compaction, so the post-resume
+    on-disk state is always clean.  ``load_report`` keeps the tolerant-read
+    evidence (torn/skipped line counts per journal) for postmortems: a torn
+    *tail* is the expected post-crash state, torn *interior* lines are real
+    corruption and are surfaced, never silently dropped.
     """
 
-    def __init__(self, directory: Union[str, Path], resume: bool = False) -> None:
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        resume: bool = False,
+        compact_every: int = DEFAULT_COMPACT_EVERY,
+    ) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.path = self.directory / "checkpoint.jsonl"
         self.quarantine_path = self.directory / "quarantine.jsonl"
+        self.compact_every = max(int(compact_every), 1)
+        self._appended_since_compact = 0
         self._records: List[Dict[str, Any]] = []
         self._quarantine: List[Dict[str, Any]] = []
+        self.load_report: Dict[str, JsonlReport] = {}
         if resume:
-            self._records = [
-                r for r in read_jsonl(self.path)
-                if isinstance(r, dict)
-                and r.get("schema_version") == CHECKPOINT_SCHEMA_VERSION
-            ]
+            ckpt_report = read_jsonl_report(self.path)
+            quarantine_report = read_jsonl_report(self.quarantine_path)
+            self.load_report = {
+                "checkpoint": ckpt_report,
+                "quarantine": quarantine_report,
+            }
+            self._records = _valid_records(ckpt_report)
             self._quarantine = [
-                r for r in read_jsonl(self.quarantine_path)
-                if isinstance(r, dict)
+                r for r in quarantine_report.records if isinstance(r, dict)
             ]
+            if not ckpt_report.clean or self._has_duplicate_keys():
+                self.compact()
+            if not quarantine_report.clean:
+                atomic_write_jsonl(self.quarantine_path, self._quarantine)
         else:
             atomic_write_jsonl(self.path, self._records)
             atomic_write_jsonl(self.quarantine_path, self._quarantine)
@@ -74,14 +124,35 @@ class CampaignCheckpoint:
         attempts: Optional[List[Dict[str, Any]]] = None,
     ) -> None:
         """Journal one completed task; durable before this returns."""
-        self._records.append({
+        record = {
             "schema_version": CHECKPOINT_SCHEMA_VERSION,
             "key": key,
             "label": label,
             "attempts": list(attempts or []),
             "result": result,
-        })
-        atomic_write_jsonl(self.path, self._records)
+        }
+        self._records.append(record)
+        atomic_append_jsonl(self.path, record)
+        self._appended_since_compact += 1
+        if self._appended_since_compact >= self.compact_every:
+            self.compact()
+
+    def compact(self) -> None:
+        """Rewrite the completed-task journal deduplicated, crash-safely.
+
+        Last-wins dedup by key, preserving first-seen order; the rewrite
+        goes through the atomic temp-then-rename path, so a kill at any
+        point leaves either the old appended journal or the new compacted
+        one — both fully parseable, both containing every completed task.
+        """
+        deduped = list(self.completed().values())
+        self._records = deduped
+        atomic_write_jsonl(self.path, deduped)
+        self._appended_since_compact = 0
+
+    def _has_duplicate_keys(self) -> bool:
+        keys = [str(r.get("key")) for r in self._records]
+        return len(keys) != len(set(keys))
 
     # -- quarantined tasks ------------------------------------------------------
 
@@ -92,10 +163,11 @@ class CampaignCheckpoint:
         self, key: str, label: str, attempts: List[Dict[str, Any]]
     ) -> None:
         """Journal one task that exhausted its retries; durable on return."""
-        self._quarantine.append({
+        record = {
             "schema_version": CHECKPOINT_SCHEMA_VERSION,
             "key": key,
             "label": label,
             "attempts": list(attempts),
-        })
-        atomic_write_jsonl(self.quarantine_path, self._quarantine)
+        }
+        self._quarantine.append(record)
+        atomic_append_jsonl(self.quarantine_path, record)

@@ -164,6 +164,15 @@ class CampaignConfig:
     watch``).  ``heartbeat_s > 0`` additionally makes each supervised
     worker stream progress heartbeats over its result pipe at that period,
     so the snapshot shows per-worker events/s, not just task counts.
+    ``telemetry_write_every_s`` throttles snapshot writes; the chaos
+    harness sets it to 0 so the persist-operation stream is a
+    deterministic function of the campaign, not of host speed.
+
+    ``checkpoint_compact_every`` bounds the append-only checkpoint
+    journal: after that many appended records the journal is compacted
+    (deduplicated and atomically rewritten).  The default is high enough
+    that ordinary campaigns never compact mid-run; the chaos workload
+    dials it down to push compaction into the explored crash points.
     """
 
     processes: Optional[int] = None
@@ -178,6 +187,8 @@ class CampaignConfig:
     reports: List["CampaignReport"] = field(default_factory=list)
     telemetry_dir: Optional[Union[str, Path]] = None
     heartbeat_s: float = 0.0
+    telemetry_write_every_s: float = 0.5
+    checkpoint_compact_every: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
@@ -188,6 +199,13 @@ class CampaignConfig:
             raise ConfigError("resume=True requires a checkpoint_dir")
         if self.heartbeat_s < 0:
             raise ConfigError("heartbeat_s must be >= 0")
+        if self.telemetry_write_every_s < 0:
+            raise ConfigError("telemetry_write_every_s must be >= 0")
+        if (
+            self.checkpoint_compact_every is not None
+            and self.checkpoint_compact_every < 1
+        ):
+            raise ConfigError("checkpoint_compact_every must be >= 1")
 
 
 @dataclass
@@ -440,17 +458,24 @@ def run_campaign(
     exactly what an uninterrupted run would have produced.
     """
     config = config if config is not None else CampaignConfig()
-    journal = (
-        CampaignCheckpoint(config.checkpoint_dir, resume=config.resume)
-        if config.checkpoint_dir is not None else None
-    )
+    journal: Optional[CampaignCheckpoint] = None
+    if config.checkpoint_dir is not None:
+        journal_kwargs: Dict[str, Any] = {}
+        if config.checkpoint_compact_every is not None:
+            journal_kwargs["compact_every"] = config.checkpoint_compact_every
+        journal = CampaignCheckpoint(
+            config.checkpoint_dir, resume=config.resume, **journal_kwargs
+        )
     report = CampaignReport(total=len(tasks))
     outcome = CampaignOutcome(results={}, report=report)
     hub: Optional[Any] = None
     if config.telemetry_dir is not None:
         from repro.obs.telemetry import TelemetryHub
 
-        hub = TelemetryHub(config.telemetry_dir, total=len(tasks))
+        hub = TelemetryHub(
+            config.telemetry_dir, total=len(tasks),
+            write_every_s=config.telemetry_write_every_s,
+        )
 
     # Deduplicate by key (identical cells are the same work) and replay the
     # journal: completed cells are decoded, never re-run.

@@ -67,6 +67,12 @@ class TelemetryHub:
         self.running: Dict[str, Dict[str, Any]] = {}
         self.write_every_s = write_every_s
         self._last_write = -1.0
+        # Degraded-telemetry accounting: status writes that failed (ENOSPC,
+        # EIO, injected chaos faults...).  Telemetry is an observability
+        # side-channel — a full disk must never kill the campaign, so write
+        # failures are counted and surfaced, not raised.
+        self.write_errors = 0
+        self.last_write_error: Optional[str] = None
         # stopwatch() is the sanctioned wall-clock shim; keep it open for
         # the hub's lifetime so elapsed_s is campaign-relative.
         self._stack = ExitStack()
@@ -140,7 +146,7 @@ class TelemetryHub:
         if remaining > 0 and fresh_done > 0 and elapsed > 0:
             # Resumed cells cost ~nothing; scale by cells actually executed.
             eta = round(elapsed / fresh_done * remaining, 1)
-        return {
+        snapshot: Dict[str, Any] = {
             "schema": STATUS_SCHEMA,
             "updated_utc": utc_now_iso(),
             "elapsed_s": round(elapsed, 1),
@@ -154,15 +160,30 @@ class TelemetryHub:
             ),
             "eta_s": eta,
         }
+        if self.write_errors:
+            snapshot["degraded"] = {
+                "write_errors": self.write_errors,
+                "last_error": self.last_write_error,
+            }
+        return snapshot
 
     def _publish(self, force: bool = False) -> None:
-        from repro.persist import atomic_write_json
+        from repro.persist import PersistError, atomic_write_json
 
         now = self._elapsed()
         if not force and (now - self._last_write) < self.write_every_s:
             return
         self._last_write = now
-        atomic_write_json(self.out_dir / STATUS_FILENAME, self.status())
+        try:
+            atomic_write_json(self.out_dir / STATUS_FILENAME, self.status())
+        except (OSError, PersistError) as exc:
+            # Degrade, never abort: the campaign's durability contract is on
+            # the checkpoint journal, not the live view.  The failure is
+            # noted in the next snapshot that does land (and on the hub for
+            # the campaign report).  Writes stay throttled so a dead disk
+            # is not hammered on every heartbeat.
+            self.write_errors += 1
+            self.last_write_error = f"{type(exc).__name__}: {exc}"
 
 
 # -- the watch view ------------------------------------------------------------

@@ -275,3 +275,34 @@ def test_bench_compare_handler_limits_adjustable():
     assert ok and "WARN handler" not in text
     ok, _text = bench_compare(hot, base, handler_fail=0.5)
     assert not ok
+
+
+def test_run_perf_smoke_degrades_when_history_disk_fails(tmp_path):
+    from repro.chaos.schedule import FaultSpec
+    from repro.chaos.testing import faulty_fs
+
+    bench_path = tmp_path / "BENCH.json"
+    history_path = tmp_path / "history.jsonl"
+    spec = FaultSpec(kind="enospc", path_substring="history.jsonl",
+                     once=False)
+    with faulty_fs(spec):
+        bench, _report = run_perf_smoke(bench_path, seed=1, receivers=2,
+                                        image_kib=2,
+                                        history_out=history_path)
+    # The measurement is intact and on disk; only the trajectory append is
+    # noted as degraded.
+    assert "no space left" in bench["history_degraded"]
+    assert not history_path.exists()
+    written = json.loads(bench_path.read_text())
+    assert written["history_degraded"] == bench["history_degraded"]
+    assert written["events"] > 0
+
+
+def test_run_perf_smoke_appends_history_when_disk_is_healthy(tmp_path):
+    bench_path = tmp_path / "BENCH.json"
+    history_path = tmp_path / "history.jsonl"
+    bench, _report = run_perf_smoke(bench_path, seed=1, receivers=2,
+                                    image_kib=2, history_out=history_path)
+    assert "history_degraded" not in bench
+    from repro.obs.perf import load_history
+    assert len(load_history(history_path)) == 1

@@ -202,3 +202,46 @@ def test_campaign_config_rejects_negative_heartbeat():
 
     with pytest.raises(ConfigError):
         CampaignConfig(heartbeat_s=-1.0)
+
+
+# ---------------------------------------------------------------------------
+# degraded telemetry: status writes failing under disk faults
+# ---------------------------------------------------------------------------
+
+def test_hub_survives_enospc_and_counts_the_failures(tmp_path):
+    from repro.chaos.schedule import FaultSpec
+    from repro.chaos.testing import faulty_fs
+
+    hub = TelemetryHub(tmp_path, total=2, write_every_s=0.0)
+    spec = FaultSpec(kind="enospc", path_substring=STATUS_FILENAME,
+                     once=False)
+    with faulty_fs(spec):
+        hub.task_started("a", "cell a")
+        hub.task_done("a")           # every write hits ENOSPC; no raise
+    assert hub.write_errors >= 2
+    assert "ENOSPC" in hub.last_write_error or "no space" in hub.last_write_error
+    assert not (tmp_path / STATUS_FILENAME).exists()
+    # Disk recovers: the next snapshot lands and self-reports the outage.
+    hub.task_started("b", "cell b")
+    hub.task_done("b")
+    status = json.loads((tmp_path / STATUS_FILENAME).read_text())
+    assert status["degraded"]["write_errors"] == hub.write_errors
+    assert status["done"] == 2
+    hub.close()
+
+
+def test_campaign_finishes_despite_dead_telemetry_disk(tmp_path):
+    from repro.chaos.schedule import FaultSpec
+    from repro.chaos.testing import faulty_fs
+
+    config = CampaignConfig(
+        processes=None, telemetry_dir=tmp_path / "telemetry",
+        telemetry_write_every_s=0.0,
+    )
+    spec = FaultSpec(kind="eio", path_substring="status.json", once=False)
+    with faulty_fs(spec):
+        outcome = run_campaign([task("a", double, 3), task("b", double, 4)],
+                               config)
+    # The observability side-channel degraded; the campaign did not.
+    assert outcome.results == {"a": 6, "b": 8}
+    assert not outcome.quarantined

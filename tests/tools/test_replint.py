@@ -1148,6 +1148,74 @@ def test_rep018_allows_non_clock_time_imports():
 
 
 # ---------------------------------------------------------------------------
+# REP019 — unsanctioned-fs-syscall
+# ---------------------------------------------------------------------------
+
+def test_rep019_flags_direct_fs_mutations_in_src():
+    findings = run(
+        """
+        import os
+
+        def save(path, data):
+            fd = os.open(path, os.O_WRONLY)
+            os.write(fd, data)
+            os.fsync(fd)
+            os.replace(path + ".tmp", path)
+        """,
+        select={"REP019"},
+    )
+    assert codes(findings).count("REP019") == 4
+
+
+def test_rep019_sees_aliased_and_from_imported_spellings():
+    findings = run(
+        """
+        import os as _os
+        from os import replace, unlink as rm
+
+        def shuffle(a, b):
+            replace(a, b)
+            rm(a)
+            _os.rename(b, a)
+        """,
+        select={"REP019"},
+    )
+    assert codes(findings).count("REP019") == 3
+
+
+def test_rep019_ignores_read_only_os_calls():
+    findings = run(
+        """
+        import os
+
+        def tail(fd):
+            os.lseek(fd, -64, os.SEEK_END)
+            return os.read(fd, 64), os.stat("x").st_size
+        """,
+        select={"REP019"},
+    )
+    assert codes(findings) == []
+
+
+def test_rep019_allows_the_persist_seam_chaos_tests_and_tools():
+    source = """
+        import os
+
+        def raw(path, data):
+            fd = os.open(path, os.O_WRONLY)
+            os.write(fd, data)
+        """
+    for sanctioned in (
+        "src/repro/persist.py",
+        "src/repro/chaos/fs.py",
+        "tests/chaos/test_fault_injection.py",
+        "tools/replint/runner.py",
+    ):
+        findings = run(source, relpath=sanctioned, select={"REP019"})
+        assert codes(findings) == [], sanctioned
+
+
+# ---------------------------------------------------------------------------
 # Parse errors
 # ---------------------------------------------------------------------------
 

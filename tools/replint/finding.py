@@ -319,6 +319,23 @@ RULES: Tuple[Rule, ...] = (
             "allocation attribution through LoopProfiler(alloc=True)."
         ),
     ),
+    Rule(
+        code="REP019",
+        name="unsanctioned-fs-syscall",
+        severity=Severity.ERROR,
+        summary="fs-mutating os calls in src/ must go through the repro.persist seam",
+        rationale=(
+            "Everything the harness persists — checkpoint journals, bench "
+            "history, telemetry snapshots — claims crash-safety, and that "
+            "claim is only as good as the chaos engine's coverage. The "
+            "crash-point explorer interposes on repro.persist.FileSystem; "
+            "an os.write()/os.replace()/open-for-write call made directly "
+            "is invisible to it, so no simulated kill ever lands there and "
+            "its recovery path ships unproven. Route writes through "
+            "atomic_write_*/atomic_append_jsonl, or current_fs() when raw "
+            "fd access is genuinely needed."
+        ),
+    ),
 )
 
 RULES_BY_CODE = {rule.code: rule for rule in RULES}
