@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import abc
-from typing import Any, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.net.packet import Frame, FrameKind
 from repro.net.radio import Radio
@@ -43,15 +43,26 @@ class NetworkNode(abc.ABC):
         return self.radio.neighbors(self.node_id)
 
     def broadcast(
-        self, kind: FrameKind, size_bytes: int, payload: Any, dest: Optional[int] = None
+        self,
+        kind: FrameKind,
+        size_bytes: int,
+        payload: Any,
+        dest: Optional[int] = None,
+        cause: Optional[Dict[str, Any]] = None,
     ) -> Frame:
-        """Queue a local broadcast; returns the frame for bookkeeping."""
+        """Queue a local broadcast; returns the frame for bookkeeping.
+
+        ``cause`` is the optional causal-provenance stamp (built by protocol
+        code only when ``trace.causal`` is attached); it rides on the frame
+        object, never on the wire.
+        """
         frame = Frame(
             kind=kind,
             sender=self.node_id,
             size_bytes=size_bytes,
             payload=payload,
             dest=dest,
+            cause=cause,
         )
         self.radio.send(frame)
         return frame

@@ -12,7 +12,7 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Dict, Optional
 
 __all__ = ["FrameKind", "Frame"]
 
@@ -45,6 +45,10 @@ class Frame:
     payload: Any
     dest: Optional[int] = None
     frame_id: int = field(default_factory=lambda: next(_frame_ids))
+    #: Causal provenance stamp (``--causal-trace`` only): what triggered this
+    #: transmission — ``{"trigger": ..., "parent": frame_id, "armed": ts}``.
+    #: Not part of the wire format; None on every frame when tracing is off.
+    cause: Optional[Dict[str, Any]] = None
 
     def __post_init__(self) -> None:
         if self.size_bytes <= 0:

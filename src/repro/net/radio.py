@@ -167,6 +167,8 @@ class Radio:
             # Defensive: a crashed node's stray timer must not transmit.
             self.trace.count("tx_dropped_detached")
             return
+        if self.trace.causal is not None:
+            self.trace.causal.on_enqueue(self.sim.now, frame)
         self._queues[frame.sender].append(frame)
         self._pump(frame.sender)
 
@@ -213,6 +215,8 @@ class Radio:
                 # Give up on this frame (models MAC drop under congestion).
                 dropped = self._queues[node_id].popleft()
                 self.trace.record(self.sim.now, "mac_drop", node_id, frame_kind=dropped.kind.value)
+                if self.trace.causal is not None:
+                    self.trace.causal.on_mac_drop(dropped)
                 self._backoffs[node_id] = 0
                 self._pump(node_id)
                 return
@@ -236,6 +240,8 @@ class Radio:
         if self.trace.flight is not None:
             self.trace.flight.on_tx(self.sim.now, node_id, frame.kind.value,
                                     frame.size_bytes, unit)
+        if self.trace.causal is not None:
+            self.trace.causal.on_air(self.sim.now, frame, unit)
         self.sim.schedule(duration, self._finish, tx)
 
     def _finish(self, tx: _Transmission) -> None:
@@ -278,6 +284,7 @@ class Radio:
 
     def _attempt_delivery(self, tx: _Transmission, receiver: int) -> None:
         flight = self.trace.flight
+        causal = self.trace.causal
         kind = tx.frame.kind.value
         if self.config.collisions:
             if self._was_transmitting(receiver, tx):
@@ -285,17 +292,26 @@ class Radio:
                 if flight is not None:
                     flight.on_loss(self.sim.now, tx.sender, receiver,
                                    "halfduplex", kind)
+                if causal is not None:
+                    causal.on_loss(self.sim.now, tx.sender, receiver,
+                                   "halfduplex", tx.frame)
                 return
             if self._overlaps(tx, receiver):
                 self.trace.count("rx_collision")
                 if flight is not None:
                     flight.on_loss(self.sim.now, tx.sender, receiver,
                                    "collision", kind)
+                if causal is not None:
+                    causal.on_loss(self.sim.now, tx.sender, receiver,
+                                   "collision", tx.frame)
                 return
         if self.loss_model.should_drop(self.rngs, tx.sender, receiver, tx.frame, self.sim.now):
             self.trace.count("rx_lost")
             if flight is not None:
                 flight.on_loss(self.sim.now, tx.sender, receiver, "channel", kind)
+            if causal is not None:
+                causal.on_loss(self.sim.now, tx.sender, receiver, "channel",
+                               tx.frame)
             return
         frame = tx.frame
         if self.tamper is not None:
@@ -305,10 +321,24 @@ class Radio:
                 if flight is not None:
                     flight.on_loss(self.sim.now, tx.sender, receiver,
                                    "tamper", kind)
+                if causal is not None:
+                    causal.on_loss(self.sim.now, tx.sender, receiver,
+                                   "tamper", tx.frame)
                 return
         self.trace.count("rx_delivered")
         self.trace.count("rx_delivered_bytes", frame.size_bytes)
         if flight is not None:
             flight.on_rx(self.sim.now, tx.sender, receiver, kind,
                          getattr(frame.payload, "unit", None))
-        self._nodes[receiver].on_receive(frame, tx.sender)
+        if causal is None:
+            self._nodes[receiver].on_receive(frame, tx.sender)
+            return
+        # Cross-node causal edge, then run the handler inside an rx context
+        # so protocol code can name this frame as the parent of whatever it
+        # triggers (a SNACK arm, a decode, a trickle reset).
+        causal.on_rx(self.sim.now, tx.sender, receiver, tx.frame)
+        causal.enter_rx(receiver, tx.frame.frame_id)
+        try:
+            self._nodes[receiver].on_receive(frame, tx.sender)
+        finally:
+            causal.exit_rx(receiver)

@@ -10,10 +10,16 @@
         --chrome-trace perf.chrome.json --repeats 3 --warmup 1 \\
         --history results/perf/history.jsonl
     python -m repro.obs check-invariants run.trace.jsonl
-    python -m repro.obs analyze run.trace.jsonl --out analysis.json
+    python -m repro.obs analyze run.trace.jsonl --out analysis.json --json
+    python -m repro.obs critical-path run.trace.jsonl --min-attribution 0.95
+    python -m repro.obs critical-path deluge.jsonl lr.jsonl --out causal.json
+    python -m repro.obs why run.trace.jsonl --node 7
     python -m repro.obs bench-compare BENCH_current.json BENCH_sim_core.json
-    python -m repro.obs bench-history results/perf/history.jsonl
+    python -m repro.obs bench-history results/perf/history.jsonl --prune 50
     python -m repro.obs watch results/telemetry/
+
+The ``critical-path``/``why`` commands need a ``--causal-trace`` run (see
+:mod:`repro.obs.causal`); ``analyze`` needs ``--flight-record``.
 
 Exit codes: 0 success, 1 a gate failed (regression, violated invariant,
 empty history), 2 unusable input (missing file, malformed JSON).
@@ -117,6 +123,35 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--stall-factor", type=float, default=5.0,
                          help="flag page gaps above this multiple of the "
                               "median gap")
+    analyze.add_argument("--json", action="store_true",
+                         help="print the analysis as JSON on stdout instead "
+                              "of the rendered tables")
+
+    cpath = sub.add_parser(
+        "critical-path",
+        help="attribute completion latency to wait categories from a "
+             "causal trace (exit 1 below --min-attribution)")
+    cpath.add_argument("trace_file", nargs="+",
+                       help="causal-traced JSONL file(s); several renders a "
+                            "protocol comparison table")
+    cpath.add_argument("--out", default=None,
+                       help="also write the attribution JSON here (a list "
+                            "when several traces are given)")
+    cpath.add_argument("--json", action="store_true",
+                       help="print the attribution as JSON on stdout")
+    cpath.add_argument("--min-attribution", type=float, default=None,
+                       help="fail (exit 1) when any completed node's "
+                            "attributed fraction is below this")
+
+    why = sub.add_parser(
+        "why",
+        help="per-node 'why was completion at t?' critical-path report "
+             "from a causal trace")
+    why.add_argument("trace_file")
+    why.add_argument("--node", type=int, required=True,
+                     help="the receiver to explain")
+    why.add_argument("--top", type=int, default=12,
+                     help="longest critical-path waits to list")
 
     compare = sub.add_parser("bench-compare",
                              help="gate a perf-smoke JSON against a baseline "
@@ -141,6 +176,9 @@ def _build_parser() -> argparse.ArgumentParser:
     history.add_argument("--config-filter", default=None,
                          help="only show configs whose key contains this "
                               "substring")
+    history.add_argument("--prune", type=int, default=None, metavar="N",
+                         help="first compact the store to the last N runs "
+                              "per config (atomic rewrite)")
 
     watch = sub.add_parser("watch",
                            help="live view of a running campaign "
@@ -204,9 +242,84 @@ def main(argv=None) -> int:
             return _error(f"trace file not found: {args.trace_file}")
         except ValueError as exc:
             return _error(str(exc))
-        print(render_analysis(analysis))
+        if args.json:
+            print(json.dumps(analysis, indent=2, sort_keys=True))
+        else:
+            print(render_analysis(analysis))
         if args.out:
             print(f"wrote {args.out}")
+        return 0
+    if args.command == "critical-path":
+        from repro.obs.causal import (
+            analyze_causal_jsonl,
+            comparison_report,
+            render_attribution,
+        )
+
+        analyses = []
+        try:
+            for trace_file in args.trace_file:
+                analyses.append(analyze_causal_jsonl(trace_file))
+        except FileNotFoundError as exc:
+            return _error(f"trace file not found: {exc.filename or exc}")
+        except ValueError as exc:
+            return _error(str(exc))
+        if args.out:
+            from repro.persist import atomic_write_json
+
+            atomic_write_json(
+                args.out, analyses[0] if len(analyses) == 1 else analyses,
+                sort_keys=True,
+            )
+        if args.json:
+            print(json.dumps(
+                analyses[0] if len(analyses) == 1 else analyses,
+                indent=2, sort_keys=True,
+            ))
+        else:
+            for analysis in analyses:
+                print(render_attribution(analysis))
+                print()
+            if len(analyses) > 1:
+                print(comparison_report(analyses))
+        if args.out:
+            print(f"wrote {args.out}")
+        failed = False
+        for analysis in analyses:
+            if not analysis["completed"]:
+                print(f"gate: no completed receivers in "
+                      f"{analysis['trace_file']}", file=sys.stderr)
+                failed = True
+            elif (args.min_attribution is not None
+                  and analysis["min_attribution"] < args.min_attribution):
+                print(f"gate: min attribution "
+                      f"{analysis['min_attribution']:.1%} < "
+                      f"{args.min_attribution:.1%} in "
+                      f"{analysis['trace_file']}", file=sys.stderr)
+                failed = True
+        return 1 if failed else 0
+    if args.command == "why":
+        from repro.obs.causal import build_dag, critical_path, render_why
+        from repro.obs.events import load_jsonl
+
+        try:
+            _header, events = load_jsonl(args.trace_file)
+        except FileNotFoundError:
+            return _error(f"trace file not found: {args.trace_file}")
+        except ValueError as exc:
+            return _error(str(exc))
+        dag = build_dag(events)
+        if not dag.tx:
+            return _error(f"{args.trace_file} holds no causal events — "
+                          "re-run the simulation with --causal-trace")
+        known = set(dag.meta) | set(dag.complete)
+        if args.node not in known:
+            return _error(f"node {args.node} does not appear in the trace")
+        path = critical_path(dag, args.node)
+        if path is None:
+            print(f"node {args.node} never completed in this trace")
+            return 1
+        print(render_why(dag, path, top=args.top))
         return 0
     if args.command == "bench-compare":
         try:
@@ -220,8 +333,19 @@ def main(argv=None) -> int:
         print(text)
         return 0 if ok else 1
     if args.command == "bench-history":
-        from repro.obs.perf import bench_history_report, load_history
+        from repro.obs.perf import (
+            bench_history_report,
+            load_history,
+            prune_history,
+        )
 
+        if args.prune is not None:
+            try:
+                before, after = prune_history(args.history, args.prune)
+            except ValueError as exc:
+                return _error(str(exc))
+            print(f"pruned {args.history}: {before} -> {after} record(s) "
+                  f"(last {args.prune} per config)")
         history = load_history(args.history)
         if not history:
             print(f"no recorded runs in {args.history}")

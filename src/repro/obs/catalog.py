@@ -189,6 +189,21 @@ METRICS: Tuple[MetricSpec, ...] = (
                "flight: hop distance of every node from the base station"),
     MetricSpec("flight_link_stats", "event", "links",
                "flight: end-of-run per-link accounting summary"),
+    # -- causal tracer (cross-node provenance, --causal-trace) ----------------
+    MetricSpec("causal_meta", "event", "runs",
+               "causal: per-node run metadata (protocol, base, total units)"),
+    MetricSpec("causal_tx", "event", "frames",
+               "causal: a frame went on the air with its causal parent "
+               "(the rx/timer/decode event that triggered it)"),
+    MetricSpec("causal_rx", "event", "frames",
+               "causal: a frame was delivered to one receiver (cross-node "
+               "causal edge tx -> rx)"),
+    MetricSpec("causal_loss", "event", "frames",
+               "causal: a delivery attempt failed (the causal edge that "
+               "retransmission wait is charged to)"),
+    MetricSpec("causal_decode", "event", "units",
+               "causal: a page decoded/verified, parented on the frame that "
+               "completed it"),
     # -- span kinds (packet/page lifecycles) ----------------------------------
     MetricSpec("span_disseminate", "event", "spans",
                "node lifetime from start() to holding the full image"),

@@ -33,12 +33,21 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
 __all__ = [
     "TRACE_SCHEMA_VERSION",
+    "SUPPORTED_SCHEMA_VERSIONS",
     "TraceEvent",
     "EventLog",
     "load_jsonl",
 ]
 
-TRACE_SCHEMA_VERSION = 1
+#: Version stamped on newly written traces.  v2 added the causal provenance
+#: kinds (``causal_*``, :mod:`repro.obs.causal`); the event shape itself is
+#: unchanged, so v1 archives remain fully readable.
+TRACE_SCHEMA_VERSION = 2
+
+#: Versions :func:`load_jsonl` accepts.  Readers treat unknown *kinds* as
+#: opaque, so the only compatibility contract is the event dict shape —
+#: identical between v1 and v2.
+SUPPORTED_SCHEMA_VERSIONS = frozenset({1, 2})
 
 # Chrome trace_event phase codes used here: instant, complete (with dur).
 _PH_INSTANT = "i"
@@ -270,10 +279,11 @@ def load_jsonl(path: Union[str, Path]) -> Tuple[Dict[str, Any], List[TraceEvent]
     if not isinstance(header, dict) or header.get("type") != "header":
         raise ValueError(f"{path}: first line is not a trace header")
     version = header.get("schema_version")
-    if version != TRACE_SCHEMA_VERSION:
+    if version not in SUPPORTED_SCHEMA_VERSIONS:
+        supported = ", ".join(str(v) for v in sorted(SUPPORTED_SCHEMA_VERSIONS))
         raise ValueError(
             f"{path}: unsupported trace schema {version!r} "
-            f"(reader supports {TRACE_SCHEMA_VERSION})"
+            f"(reader supports {supported})"
         )
     events = [TraceEvent.from_dict(json.loads(line)) for line in lines[1:] if line]
     return header, events

@@ -23,6 +23,11 @@ memory; :meth:`FlightRecorder.finalize` flushes it as one ``flight_link_stats``
 event per observed ``(src, dst)`` link plus a ``flight_topology`` event with
 every node's hop distance from the base station (BFS over the observed
 radio's topology).
+
+:class:`CausalRecorder` (``--causal-trace``, the ``trace.causal``
+attachment) lives here too and runs under the identical discipline: it
+emits the ``causal_*`` provenance kinds that :mod:`repro.obs.causal`
+reconstructs the dissemination DAG and critical paths from.
 """
 
 from __future__ import annotations
@@ -31,10 +36,11 @@ from collections import deque
 from typing import Any, Dict, List, Optional, Tuple, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.packet import Frame
     from repro.net.radio import Radio
     from repro.sim.trace import TraceSink
 
-__all__ = ["FlightRecorder", "LOSS_CAUSES"]
+__all__ = ["FlightRecorder", "CausalRecorder", "LOSS_CAUSES"]
 
 #: Delivery-failure causes the radio reports, in the order they are checked.
 LOSS_CAUSES: Tuple[str, ...] = ("halfduplex", "collision", "channel", "tamper")
@@ -238,3 +244,121 @@ class FlightRecorder:
         """Frames each node put on the air (per-attacker damage attribution
         reads an adversary's injected-frame count from here)."""
         return dict(self._tx_frames)
+
+
+class CausalRecorder:
+    """Cross-node causal provenance: who/what triggered every transmission.
+
+    Attached as ``trace.causal`` (see :class:`repro.sim.trace.CausalSink`),
+    it follows the flight recorder's zero-overhead discipline exactly: every
+    hook is guarded by one ``trace.causal is not None`` test at the call
+    site, and emissions go through ``sink.instant`` only — never through the
+    counter store — so the counter snapshots, RNG draws, and non-causal
+    event stream are byte-identical with and without ``--causal-trace``.
+
+    Emitted kinds (catalogued in :mod:`repro.obs.catalog`, replayed offline
+    by :mod:`repro.obs.causal`):
+
+    ``causal_meta``
+        Per-node run metadata at ``start()``: protocol, base flag, total
+        units, plus the protocol's ``causal_profile`` label for comparison
+        tables.
+    ``causal_tx``
+        A frame went on the air.  Detail carries the frame id, wire kind,
+        MAC enqueue time (``enq`` — the gap to ``ts`` is MAC/carrier-sense
+        wait), the payload's unit/index when present, and the protocol's
+        ``cause`` stamp: the rx frame, timer arm, or decode that triggered
+        this transmission.
+    ``causal_rx`` / ``causal_loss``
+        One event per delivery attempt outcome at each receiver — the
+        cross-node DAG edges.  ``causal_loss`` is what the analyzer charges
+        retransmission wait to.
+    ``causal_decode``
+        A page decoded/verified at a node, parented on the frame whose
+        arrival completed it, with the decode geometry (``need`` of ``of``
+        packets) so coded and ARQ pages compare directly.
+
+    The recorder also tracks, per node, *which frame is currently being
+    handled* (``enter_rx``/``exit_rx`` around ``on_receive`` in the radio):
+    protocol code queries :meth:`current_frame` to parent timer arms and
+    decodes without threading frame ids through every handler signature.
+    """
+
+    def __init__(self, sink: "TraceSink") -> None:
+        self.sink = sink
+        #: MAC enqueue time per frame id, popped when the frame airs/drops.
+        self._enq: Dict[int, float] = {}
+        #: Frame currently being dispatched to each node's ``on_receive``.
+        self._rx_ctx: Dict[int, int] = {}
+
+    # -- rx context -----------------------------------------------------------
+
+    def enter_rx(self, node: int, frame_id: int) -> None:
+        self._rx_ctx[node] = frame_id
+
+    def exit_rx(self, node: int) -> None:
+        self._rx_ctx.pop(node, None)
+
+    def current_frame(self, node: int) -> Optional[int]:
+        """The frame id ``node`` is handling right now, or None (timer fire)."""
+        return self._rx_ctx.get(node)
+
+    # -- radio hooks ----------------------------------------------------------
+
+    def on_enqueue(self, ts: float, frame: "Frame") -> None:
+        self._enq[frame.frame_id] = ts
+
+    def on_mac_drop(self, frame: "Frame") -> None:
+        # Never aired: no causal_tx, and its enqueue stamp must not leak.
+        self._enq.pop(frame.frame_id, None)
+
+    def on_air(self, ts: float, frame: "Frame", unit: Optional[int]) -> None:
+        detail: Dict[str, Any] = {
+            "frame": frame.frame_id,
+            "kind": frame.kind.value,
+            "enq": self._enq.pop(frame.frame_id, ts),
+        }
+        if unit is not None:
+            detail["unit"] = unit
+        index = getattr(frame.payload, "index", None)
+        if index is not None:
+            detail["index"] = index
+        if frame.dest is not None:
+            detail["dest"] = frame.dest
+        if frame.cause is not None:
+            detail["cause"] = frame.cause
+        self.sink.instant(ts, "causal_tx", frame.sender, detail)
+
+    def on_rx(self, ts: float, src: int, dst: int, frame: "Frame") -> None:
+        self.sink.instant(ts, "causal_rx", dst,
+                          {"frame": frame.frame_id, "src": src})
+
+    def on_loss(self, ts: float, src: int, dst: int, cause: str,
+                frame: "Frame") -> None:
+        self.sink.instant(ts, "causal_loss", dst, {
+            "frame": frame.frame_id, "src": src, "cause": cause,
+            "kind": frame.kind.value,
+        })
+
+    # -- protocol hooks -------------------------------------------------------
+
+    def on_meta(self, ts: float, node: int, protocol: str, is_base: bool,
+                total_units: Optional[int], secured: bool,
+                profile: str) -> None:
+        self.sink.instant(ts, "causal_meta", node, {
+            "protocol": protocol,
+            "base": is_base,
+            "total_units": total_units,
+            "secured": secured,
+            "profile": profile,
+        })
+
+    def on_decode(self, ts: float, node: int, unit: int,
+                  parent: Optional[int], need: Optional[int],
+                  of: Optional[int]) -> None:
+        detail: Dict[str, Any] = {"unit": unit, "frame": parent}
+        if need is not None:
+            detail["need"] = need
+        if of is not None:
+            detail["of"] = of
+        self.sink.instant(ts, "causal_decode", node, detail)

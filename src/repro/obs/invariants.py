@@ -52,9 +52,22 @@ Invariant library
     never be re-buffered.  Identities reset on ``version_adopted`` and, for
     units at or above the flash resume point, on ``fault_reboot``.
 
+``causal_rx_has_tx``
+    Every cross-node causal edge is grounded: a ``causal_rx`` (and every
+    ``causal_loss``) names a frame that a prior ``causal_tx`` put on the
+    air.  A dangling rx edge would let the critical-path walk invent time.
+
+``causal_monotone``
+    Causality never runs backwards: a frame's ``cause`` parent (and its
+    timer-arm timestamp) precedes the transmission, a delivery follows its
+    transmission, and a decode is parented on a frame that was actually
+    delivered to that node beforehand.  This is the invariant that makes
+    critical paths temporally monotone by construction.
+
 The ``auth_before_buffer``/``tracker_monotone``/``quarantine_respected``/
 ``replay_never_rebuffered`` invariants need a flight-recorded trace
-(``--flight-record``); the others also work on plain span traces.  Events whose prerequisites
+(``--flight-record``); the ``causal_*`` pair needs a causal trace
+(``--causal-trace``); the others also work on plain span traces.  Events whose prerequisites
 are absent are skipped, and :attr:`InvariantReport.checked` records how many
 events each invariant actually examined so "vacuously clean" is visible.
 """
@@ -84,6 +97,8 @@ INVARIANTS: Tuple[str, ...] = (
     "complete_means_all_pages",
     "quarantine_respected",
     "replay_never_rebuffered",
+    "causal_rx_has_tx",
+    "causal_monotone",
 )
 
 
@@ -155,6 +170,12 @@ class _Checker:
         self.quarantines: Dict[Tuple[int, int], float] = {}
         # replay_never_rebuffered: buffered identities per node
         self.buffered: Dict[int, Set[Tuple[int, int, int]]] = {}
+        # causal_*: frame -> on-air ts, and (frame, node) -> delivery ts
+        self.causal_tx_ts: Dict[int, float] = {}
+        self.causal_rx_ts: Dict[Tuple[int, int], float] = {}
+        # cause parents not yet seen on the air: either MAC-dropped (fine)
+        # or aired *later* (a causality inversion) — settled after the pass.
+        self.causal_pending: List[Tuple[int, TraceEvent]] = []
 
     def _violate(self, invariant: str, event: TraceEvent, message: str) -> None:
         self.report.violations.append(
@@ -322,6 +343,94 @@ class _Checker:
         self.buffered.pop(e.node, None)
         self._drop_tracker_state(e.node)
 
+    def _on_causal_tx(self, e: TraceEvent) -> None:
+        d = e.detail
+        if "frame" not in d:
+            return
+        self.causal_tx_ts[int(d["frame"])] = e.ts
+        cause = d.get("cause")
+        if not isinstance(cause, dict):
+            return
+        self.report.checked["causal_monotone"] += 1
+        parent = cause.get("parent")
+        if parent is not None:
+            parent_ts = self.causal_tx_ts.get(int(parent))
+            if parent_ts is None:
+                # Either the parent was MAC-dropped and never aired
+                # (legitimate: retries still name it as the cause), or it
+                # airs later in the trace — an inversion only visible once
+                # the whole stream has been read. Settle it in run().
+                self.causal_pending.append((int(parent), e))
+            elif parent_ts > e.ts:
+                self._violate(
+                    "causal_monotone", e,
+                    f"frame {d['frame']} aired at t={e.ts:g} before its "
+                    f"cause parent {parent} (t={parent_ts:g})",
+                )
+        armed = cause.get("armed")
+        if armed is not None and float(armed) > e.ts:
+            self._violate(
+                "causal_monotone", e,
+                f"frame {d['frame']} aired at t={e.ts:g} before its timer "
+                f"was armed (t={float(armed):g})",
+            )
+
+    def _on_causal_rx(self, e: TraceEvent) -> None:
+        d = e.detail
+        if e.node is None or "frame" not in d:
+            return
+        frame = int(d["frame"])
+        self.report.checked["causal_rx_has_tx"] += 1
+        tx_ts = self.causal_tx_ts.get(frame)
+        if tx_ts is None:
+            self._violate(
+                "causal_rx_has_tx", e,
+                f"delivery of frame {frame} has no prior causal_tx",
+            )
+        else:
+            self.report.checked["causal_monotone"] += 1
+            if tx_ts > e.ts:
+                self._violate(
+                    "causal_monotone", e,
+                    f"frame {frame} delivered at t={e.ts:g} before it "
+                    f"aired (t={tx_ts:g})",
+                )
+            self.causal_rx_ts[(frame, e.node)] = e.ts
+
+    def _on_causal_loss(self, e: TraceEvent) -> None:
+        d = e.detail
+        if "frame" not in d:
+            return
+        frame = int(d["frame"])
+        self.report.checked["causal_rx_has_tx"] += 1
+        if frame not in self.causal_tx_ts:
+            self._violate(
+                "causal_rx_has_tx", e,
+                f"loss of frame {frame} has no prior causal_tx",
+            )
+
+    def _on_causal_decode(self, e: TraceEvent) -> None:
+        d = e.detail
+        if e.node is None:
+            return
+        parent = d.get("frame")
+        if parent is None:
+            return
+        self.report.checked["causal_monotone"] += 1
+        rx_ts = self.causal_rx_ts.get((int(parent), e.node))
+        if rx_ts is None:
+            self._violate(
+                "causal_monotone", e,
+                f"decode of unit {d.get('unit')} parented on frame {parent}, "
+                f"which was never delivered to this node",
+            )
+        elif rx_ts > e.ts:
+            self._violate(
+                "causal_monotone", e,
+                f"decode of unit {d.get('unit')} at t={e.ts:g} precedes the "
+                f"delivery of its parent frame {parent} (t={rx_ts:g})",
+            )
+
     def _drop_tracker_state(self, node: int) -> None:
         # Crash / new version wipes the TX service dict; stale distance
         # baselines must not chain across the reset.
@@ -342,6 +451,10 @@ class _Checker:
         "fault_reboot": _on_reboot,
         "fault_crash": _on_crash,
         "version_adopted": _on_version_adopted,
+        "causal_tx": _on_causal_tx,
+        "causal_rx": _on_causal_rx,
+        "causal_loss": _on_causal_loss,
+        "causal_decode": _on_causal_decode,
     }
 
     def run(self, events: Iterable[TraceEvent]) -> InvariantReport:
@@ -350,6 +463,17 @@ class _Checker:
             handler = self._HANDLERS.get(event.kind)
             if handler is not None:
                 handler(self, event)
+        for parent, e in self.causal_pending:
+            parent_ts = self.causal_tx_ts.get(parent)
+            if parent_ts is not None and parent_ts > e.ts:
+                # The parent did air after all — just later than its child,
+                # which inverts causality. Parents still unknown here were
+                # MAC-dropped and stay exempt.
+                self._violate(
+                    "causal_monotone", e,
+                    f"frame {e.detail['frame']} aired at t={e.ts:g} before "
+                    f"its cause parent {parent} (t={parent_ts:g})",
+                )
         return self.report
 
 

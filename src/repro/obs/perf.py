@@ -31,6 +31,7 @@ __all__ = [
     "history_record",
     "append_history",
     "load_history",
+    "prune_history",
     "handler_mean_deltas",
     "bench_history_report",
     "collapsed_stacks",
@@ -87,6 +88,37 @@ def load_history(path: Union[str, Path]) -> List[Dict[str, Any]]:
     from repro.persist import read_jsonl
 
     return [r for r in read_jsonl(path) if isinstance(r, dict)]
+
+
+def prune_history(
+    path: Union[str, Path], keep_per_config: int
+) -> Tuple[int, int]:
+    """Compact the history store to the last ``keep_per_config`` runs per
+    config key; returns ``(before, after)`` record counts.
+
+    The rewrite goes through :func:`repro.persist.atomic_write_jsonl` — the
+    sanctioned crash-safe compaction step for append-only journals — so a
+    process killed mid-prune leaves either the full old history or the
+    complete pruned one, never a mix.  Record order is preserved.
+    """
+    if keep_per_config < 1:
+        raise ValueError(f"keep_per_config must be >= 1, got {keep_per_config}")
+    records = load_history(path)
+    if not records:
+        return 0, 0
+    kept_per_key: Dict[str, int] = {}
+    keep_flags: List[bool] = [False] * len(records)
+    for i in range(len(records) - 1, -1, -1):
+        key = str(records[i].get("config_key", "?"))
+        if kept_per_key.get(key, 0) < keep_per_config:
+            kept_per_key[key] = kept_per_key.get(key, 0) + 1
+            keep_flags[i] = True
+    kept = [r for r, keep in zip(records, keep_flags) if keep]
+    if len(kept) != len(records):
+        from repro.persist import atomic_write_jsonl
+
+        atomic_write_jsonl(path, kept)
+    return len(records), len(kept)
 
 
 def handler_mean_deltas(

@@ -26,7 +26,7 @@ from __future__ import annotations
 import abc
 import dataclasses
 import enum
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.faults.flash import NodeFlash
@@ -85,6 +85,11 @@ class DisseminationNode(NetworkNode):
     """One protocol participant (sensor node or base station)."""
 
     protocol: ProtocolName = ProtocolName.DELUGE
+
+    #: Causal-tracer scheduler label (``causal_meta`` detail): names the
+    #: transport family so protocol-comparison tables group runs without
+    #: re-deriving it from counters.  Overridden per protocol module.
+    causal_profile: str = "arq-union"
 
     def __init__(
         self,
@@ -151,6 +156,14 @@ class DisseminationNode(NetworkNode):
             if defense.backoff:
                 self._backoff_rng = derived_stream(
                     "defense-backoff", rngs.root_seed, node_id)
+        # Causal-tracer provenance state (written only when trace.causal is
+        # attached; both stay empty/None otherwise so the disabled path pays
+        # nothing beyond the attribute checks at the call sites).
+        #   _causal_req: last request-timer arm — (reason, parent frame, ts).
+        #   _causal_unit_snack: last SNACK rx frame folded per served unit.
+        self._causal_req: Optional[Tuple[str, Optional[int], float]] = None
+        self._causal_unit_snack: Dict[int, Tuple[int, float]] = {}
+
         self._stall_timer = Timer(sim, self._stall_fire)
         self._stall_mark: Tuple[int, int] = (0, 0)
         self._stall_rotations = 0
@@ -191,6 +204,55 @@ class DisseminationNode(NetworkNode):
     def make_tx_policy(self, unit: int) -> TxPolicy:
         """Fresh TX pending-state for ``unit``."""
 
+    # -- causal provenance (all no-ops unless trace.causal is attached) -----------
+
+    def _note_request_cause(self, reason: str,
+                            parent: Optional[int] = None) -> None:
+        """Remember why the request timer was (re)armed, and by which frame.
+
+        ``parent`` defaults to the frame currently being handled (the adv or
+        data packet that triggered the arm).  Timer-context re-arms have no
+        rx frame; they inherit the previous parent so the causal chain stays
+        rooted across defer/suppress cycles — the *reason* updates each time
+        and labels the wait category of the final arm-to-fire interval.
+        """
+        causal = self.trace.causal
+        if causal is None:
+            return
+        if parent is None:
+            parent = causal.current_frame(self.node_id)
+        if parent is None and self._causal_req is not None:
+            parent = self._causal_req[1]
+        self._causal_req = (reason, parent, self.sim.now)
+
+    def _request_cause(self) -> Optional[Dict[str, Any]]:
+        """Cause stamp for a SNACK: the last noted request-timer arm."""
+        if self.trace.causal is None:
+            return None
+        reason, parent, armed = self._causal_req or (
+            "unknown", None, self.sim.now)
+        cause: Dict[str, Any] = {
+            "trigger": "request", "reason": reason, "armed": armed}
+        if parent is not None:
+            cause["parent"] = parent
+        return cause
+
+    def _serve_cause(self, unit: int) -> Optional[Dict[str, Any]]:
+        """Cause stamp for a served data/signature packet: the SNACK rx."""
+        if self.trace.causal is None:
+            return None
+        cause: Dict[str, Any] = {"trigger": "serve", "unit": unit}
+        snack = self._causal_unit_snack.get(unit)
+        if snack is not None:
+            cause["parent"], cause["armed"] = snack
+        return cause
+
+    def _adv_cause(self) -> Optional[Dict[str, Any]]:
+        """Cause stamp for an advertisement: the trickle round."""
+        if self.trace.causal is None:
+            return None
+        return {"trigger": "trickle", "uc": self.units_complete}
+
     # -- lifecycle ---------------------------------------------------------------
 
     def start(self) -> None:
@@ -199,6 +261,11 @@ class DisseminationNode(NetworkNode):
             self.trace.flight.on_meta(self.sim.now, self.node_id,
                                       self.protocol.value, self.is_base,
                                       self.total_units, self.pipeline.secured)
+        if self.trace.causal is not None:
+            self.trace.causal.on_meta(self.sim.now, self.node_id,
+                                      self.protocol.value, self.is_base,
+                                      self.total_units, self.pipeline.secured,
+                                      self.causal_profile)
         self.trickle.start()
         if not self.is_base and not self.complete:
             self.trace.span_begin(self.sim.now, "span_disseminate", self.node_id)
@@ -256,6 +323,8 @@ class DisseminationNode(NetworkNode):
         self._upgrade_server = None
         self._upgrade_tries = 0
         self._upgrade_cooldown_until = 0.0
+        self._causal_req = None
+        self._causal_unit_snack.clear()
         if self._guard is not None:
             self._guard.reset()
         self._stall_timer.cancel()
@@ -354,7 +423,8 @@ class DisseminationNode(NetworkNode):
         )
         if self.control_auth is not None:
             adv = dataclasses.replace(adv, mac=self.control_auth.tag_adv(adv))
-        self.broadcast(FrameKind.ADV, self.wire.adv_size(), adv)
+        self.broadcast(FrameKind.ADV, self.wire.adv_size(), adv,
+                       cause=self._adv_cause())
 
     def _on_adv(self, adv: Advertisement, sender: int) -> None:
         my_version = self.pipeline.version or 0
@@ -402,6 +472,7 @@ class DisseminationNode(NetworkNode):
         self._upgrade_server = sender
         self._upgrade_version = adv.version
         if not self._request_timer.armed:
+            self._note_request_cause("upgrade")
             self._request_timer.start(self.rng.uniform(0.0, self.timing.request_delay_max))
 
     def _adopt_pipeline(self, pipeline: ReceiverPipeline) -> None:
@@ -428,6 +499,8 @@ class DisseminationNode(NetworkNode):
         self._upgrade_cooldown_until = 0.0
         self._tx_deferrals = 0
         self._last_served_unit = -1
+        self._causal_req = None
+        self._causal_unit_snack.clear()
         self._stall_rotations = 0
         self._page_started_at = self.sim.now
         self._arm_stall()
@@ -486,6 +559,7 @@ class DisseminationNode(NetworkNode):
         unit = self.units_complete
         if not self._servers_for(unit):
             return
+        self._note_request_cause("first_request")
         self._request_timer.start(self.rng.uniform(0.0, self.timing.request_delay_max))
 
     def _request_fire(self) -> None:
@@ -514,14 +588,17 @@ class DisseminationNode(NetworkNode):
                 request = dataclasses.replace(
                     request, mac=self.control_auth.tag_snack(request)
                 )
-            self.broadcast(FrameKind.SNACK, self.wire.snack_size(1), request,
-                           dest=self._upgrade_server)
+            sent = self.broadcast(FrameKind.SNACK, self.wire.snack_size(1),
+                                  request, dest=self._upgrade_server,
+                                  cause=self._request_cause())
+            self._note_request_cause("upgrade_retry", parent=sent.frame_id)
             self._request_timer.start(self._rearm_delay(self.timing.request_timeout))
             return
         if self.complete:
             return
         if self._serving_active():
             # Defer while transmissions for earlier pages are pending.
+            self._note_request_cause("serve_defer")
             self._request_timer.start(self._rearm_delay(self.timing.request_timeout))
             return
         unit = self.units_complete
@@ -545,6 +622,7 @@ class DisseminationNode(NetworkNode):
             if last_same is not None and now - last_same < self.timing.burst_active_gap:
                 self._data_suppressions += 1
                 self.trace.count("request_data_suppressed")
+                self._note_request_cause("data_burst")
                 self._request_timer.start(self.timing.burst_active_gap * self.rng.uniform(1.0, 2.0))
                 return
             if (
@@ -554,6 +632,7 @@ class DisseminationNode(NetworkNode):
             ):
                 self._data_suppressions += 1
                 self.trace.count("request_data_suppressed")
+                self._note_request_cause("lower_page")
                 self._request_timer.start(self.rng.uniform(0.5, 1.0) * self.timing.data_quiet_window)
                 return
         self._data_suppressions = 0
@@ -562,6 +641,7 @@ class DisseminationNode(NetworkNode):
             if overheard is not None and self.sim.now - overheard < self.timing.suppression_window:
                 self._suppressions += 1
                 self.trace.count("snack_suppressed")
+                self._note_request_cause("snack_suppressed")
                 self._request_timer.start(self._rearm_delay(self.timing.request_timeout))
                 return
         self._suppressions = 0
@@ -584,7 +664,12 @@ class DisseminationNode(NetworkNode):
                 request, mac=self.control_auth.tag_snack(request)
             )
         self._request_tries += 1
-        self.broadcast(FrameKind.SNACK, self.wire.snack_size(n_packets), request, dest=server)
+        sent = self.broadcast(FrameKind.SNACK, self.wire.snack_size(n_packets),
+                              request, dest=server,
+                              cause=self._request_cause())
+        # The next fire (if this SNACK goes unanswered) is a retry chained on
+        # this very attempt, so the walk attributes the wait to retransmission.
+        self._note_request_cause("retry", parent=sent.frame_id)
         self._request_timer.start(self._request_retry_delay())
 
     def _rearm_delay(self, base: float) -> float:
@@ -670,6 +755,7 @@ class DisseminationNode(NetworkNode):
                                        pkt.version, pkt.unit, pkt.index)
                 self._request_tries = 0
                 if self._request_timer.armed:
+                    self._note_request_cause("data_progress")
                     self._request_timer.start(self._rearm_delay(self.timing.request_timeout))
                 self._try_complete_unit()
             else:
@@ -759,6 +845,12 @@ class DisseminationNode(NetworkNode):
             self._stall_rotations = 0
             self._arm_stall()
         completed_unit = self.units_complete - 1
+        causal = self.trace.causal
+        if causal is not None:
+            n_packets, threshold = self.pipeline.geometry(completed_unit)
+            causal.on_decode(self.sim.now, self.node_id, completed_unit,
+                             causal.current_frame(self.node_id),
+                             threshold, n_packets)
         self.trace.record(self.sim.now, "unit_complete", self.node_id, unit=completed_unit)
         self.trace.span_end(self.sim.now, "span_page", self.node_id,
                             key=completed_unit, unit=completed_unit)
@@ -851,6 +943,13 @@ class DisseminationNode(NetworkNode):
         if self._snack_flood_exceeded(request.requester, request.unit):
             self.trace.count("snack_ignored_flood")
             return
+        causal = self.trace.causal
+        if causal is not None:
+            rx_frame = causal.current_frame(self.node_id)
+            if rx_frame is not None:
+                # The latest folded SNACK parents every packet this unit's
+                # serve burst puts on the air.
+                self._causal_unit_snack[request.unit] = (rx_frame, self.sim.now)
         policy = self._service.get(request.unit)
         if policy is None:
             policy = self.make_tx_policy(request.unit)
@@ -949,16 +1048,21 @@ class DisseminationNode(NetworkNode):
         # stragglers of this unit before starting to serve a higher one.
         self._last_data_heard[unit] = self.sim.now
         if self.uses_signature and unit == 0:
-            return self._broadcast_signature()
+            return self._broadcast_signature(cause=self._serve_cause(unit))
         packets = self.pipeline.serving_packets(unit)
         pkt = packets[index]
         size = self.wire.data_packet_size(len(pkt.payload), len(pkt.auth_path))
-        self.broadcast(FrameKind.DATA, size, pkt)
+        self.broadcast(FrameKind.DATA, size, pkt, cause=self._serve_cause(unit))
         return size
 
-    def _broadcast_signature(self) -> int:
+    def _broadcast_signature(self, cause: Optional[Dict[str, Any]] = None) -> int:
+        if cause is None and self.trace.causal is not None:
+            # Unsolicited pushes (base start / reboot / publish) root the
+            # causal chain at image availability rather than at a SNACK.
+            cause = {"trigger": "start"}
         size = self.wire.signature_packet_size()
-        self.broadcast(FrameKind.SIGNATURE, size, self._signature_packet)
+        self.broadcast(FrameKind.SIGNATURE, size, self._signature_packet,
+                       cause=cause)
         return size
 
     def _on_signature(self, packet: SignaturePacket, sender: int) -> None:

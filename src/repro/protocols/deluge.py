@@ -53,6 +53,9 @@ class DelugeNode(DisseminationNode):
 
     protocol = ProtocolName.DELUGE
 
+    #: Causal-tracer label: plain ARQ, request-union scheduling, no auth.
+    causal_profile = "arq-union"
+
     def make_tx_policy(self, unit: int) -> TxPolicy:
         n_packets, _ = self.pipeline.geometry(unit)
         return UnionPolicy(n_packets)

@@ -69,6 +69,11 @@ class LRSelugeNode(DisseminationNode):
 
     protocol = ProtocolName.LR_SELUGE
 
+    #: Causal-tracer label: erasure-coded pages served off the tracking
+    #: table — the paper predicts critical paths trade retransmission wait
+    #: for (cheap) decode edges under loss.
+    causal_profile = "erasure-tracking"
+
     #: TX policy selector: "tracking" (the paper's greedy round-robin) or
     #: "union" (Deluge-style, for the scheduler ablation E10).
     scheduler_kind: str = "tracking"

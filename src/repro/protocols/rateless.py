@@ -134,6 +134,9 @@ class RatelessDelugeNode(DisseminationNode):
 
     protocol = ProtocolName.RATELESS
 
+    #: Causal-tracer label: random-linear coded pages, always-fresh serving.
+    causal_profile = "rlc-fresh"
+
     @property
     def snack_suppression(self) -> bool:
         return False
@@ -152,6 +155,7 @@ class RatelessDelugeNode(DisseminationNode):
         """Rateless SNACKs carry a deficit count, not a bit-vector."""
         if self.complete or self._serving_active():
             if self._serving_active() and not self.complete:
+                self._note_request_cause("serve_defer")
                 self._request_timer.start(self._rearm_delay(self.timing.request_timeout))
             return
         unit = self.units_complete
@@ -171,7 +175,9 @@ class RatelessDelugeNode(DisseminationNode):
         )
         self._request_tries += 1
         size = self.wire.header + self.wire.mac_len + 1
-        self.broadcast(FrameKind.SNACK, size, request, dest=server)
+        sent = self.broadcast(FrameKind.SNACK, size, request, dest=server,
+                              cause=self._request_cause())
+        self._note_request_cause("retry", parent=sent.frame_id)
         self._request_timer.start(self._rearm_delay(self.timing.request_timeout))
 
     def params_deficit(self) -> int:
@@ -186,7 +192,8 @@ class RatelessDelugeNode(DisseminationNode):
     def _transmit_unit_packet(self, unit: int, index: int) -> int:
         pkt = self.pipeline.encode_fresh(unit, index)
         size = self.wire.data_packet_size(len(pkt.payload))
-        self.broadcast(FrameKind.DATA, size, pkt)
+        self.broadcast(FrameKind.DATA, size, pkt,
+                       cause=self._serve_cause(unit))
         return size
 
 

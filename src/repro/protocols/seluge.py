@@ -33,6 +33,10 @@ class SelugeNode(DisseminationNode):
 
     protocol = ProtocolName.SELUGE
 
+    #: Causal-tracer label: Deluge's ARQ transport plus per-packet auth —
+    #: critical paths gain decode_verify/admission edges, not new waits.
+    causal_profile = "arq-union-auth"
+
     def make_tx_policy(self, unit: int) -> TxPolicy:
         # Seluge keeps Deluge's request-union ARQ, so flight-recorder
         # tracker_snapshot events for Seluge nodes carry UnionPolicy state.

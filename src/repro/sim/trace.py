@@ -19,6 +19,9 @@ optional extensions hang off it:
 * ``flight`` attaches a :class:`FlightSink`-shaped flight recorder
   (per-link accounting, tracker snapshots); instrumented call sites in the
   radio and protocol layers check ``trace.flight is not None`` themselves.
+* ``causal`` attaches a :class:`CausalSink`-shaped provenance recorder
+  (per-frame causal parents, cross-node tx->rx edges, decode events) under
+  the same ``trace.causal is not None`` discipline.
 """
 
 from __future__ import annotations
@@ -29,7 +32,8 @@ from typing import Any, Deque, Dict, List, Optional, Protocol, Tuple, Union
 
 from repro.obs.registry import MetricsRegistry
 
-__all__ = ["TraceRecord", "TraceRecorder", "TraceSink", "FlightSink"]
+__all__ = ["TraceRecord", "TraceRecorder", "TraceSink", "FlightSink",
+           "CausalSink"]
 
 
 class FlightSink(Protocol):
@@ -77,6 +81,47 @@ class FlightSink(Protocol):
     def finalize(self, ts: float) -> None: ...
 
 
+class CausalSink(Protocol):
+    """Structural interface of a causal-provenance recorder attachment.
+
+    :class:`repro.obs.flight.CausalRecorder` satisfies this.  Like the
+    flight recorder, every hot-path call site guards its hook behind a
+    single ``trace.causal is not None`` check and implementations write
+    only to their own sink — never to the recorder's counters — so the
+    event stream, counter snapshots, and RNG draws stay byte-identical
+    with and without ``--causal-trace``.
+
+    ``frame`` parameters are :class:`repro.net.packet.Frame` instances,
+    typed ``Any`` here so the strict ``repro.sim`` surface does not import
+    ``repro.net`` (which imports this module).
+    """
+
+    def on_enqueue(self, ts: float, frame: Any) -> None: ...
+
+    def on_air(self, ts: float, frame: Any, unit: Optional[int]) -> None: ...
+
+    def on_mac_drop(self, frame: Any) -> None: ...
+
+    def on_rx(self, ts: float, src: int, dst: int, frame: Any) -> None: ...
+
+    def on_loss(self, ts: float, src: int, dst: int, cause: str,
+                frame: Any) -> None: ...
+
+    def enter_rx(self, node: int, frame_id: int) -> None: ...
+
+    def exit_rx(self, node: int) -> None: ...
+
+    def current_frame(self, node: int) -> Optional[int]: ...
+
+    def on_meta(self, ts: float, node: int, protocol: str, is_base: bool,
+                total_units: Optional[int], secured: bool,
+                profile: str) -> None: ...
+
+    def on_decode(self, ts: float, node: int, unit: int,
+                  parent: Optional[int], need: Optional[int],
+                  of: Optional[int]) -> None: ...
+
+
 class TraceSink(Protocol):
     """Structural interface a structured-event sink must provide.
 
@@ -121,6 +166,7 @@ class TraceRecorder:
         sink: Optional[TraceSink] = None,
         registry: Optional[MetricsRegistry] = None,
         flight: Optional[FlightSink] = None,
+        causal: Optional[CausalSink] = None,
     ) -> None:
         if max_records is not None and max_records < 1:
             raise ValueError(f"max_records must be >= 1, got {max_records}")
@@ -141,6 +187,8 @@ class TraceRecorder:
         # Optional flight recorder: instrumented call sites check for None
         # themselves so the disabled path costs one attribute read.
         self.flight = flight
+        # Optional causal tracer (same discipline as flight).
+        self.causal = causal
         self._marks: Dict[str, float] = {}
 
     def count(self, name: str, amount: int = 1) -> None:

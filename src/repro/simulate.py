@@ -42,6 +42,16 @@ topology) so the archived trace can be replayed through
         --flight-record --trace-out run.trace.jsonl
     python -m repro.obs check-invariants run.trace.jsonl
     python -m repro.obs analyze run.trace.jsonl --out analysis.json
+
+``--causal-trace`` attaches the causal provenance recorder instead: every
+frame carries the event that caused it (the received frame or timer arm
+that triggered the transmission), and the archived trace answers "why was
+node ``n``'s completion at time ``t``?"::
+
+    python -m repro.simulate --protocol lr-seluge --image-kib 4 --k 8 --n 12 \\
+        --loss 0.15 --causal-trace --trace-out run.trace.jsonl
+    python -m repro.obs critical-path run.trace.jsonl --min-attribution 0.95
+    python -m repro.obs why run.trace.jsonl --node 7
 """
 
 from __future__ import annotations
@@ -150,6 +160,11 @@ def _build_parser() -> argparse.ArgumentParser:
                           "accounting, tracker snapshots) to the trace; "
                           "implies structured tracing and feeds "
                           "`python -m repro.obs check-invariants/analyze`")
+    obs.add_argument("--causal-trace", action="store_true",
+                     help="attach the causal provenance recorder (per-frame "
+                          "cause stamps, cross-node edges) to the trace; "
+                          "implies structured tracing and feeds "
+                          "`python -m repro.obs critical-path/why`")
     return parser
 
 
@@ -269,14 +284,19 @@ def main(argv=None) -> int:
 
     sim = Simulator()
     log = None
-    if args.trace_out or args.chrome_trace or args.flight_record:
+    if (args.trace_out or args.chrome_trace or args.flight_record
+            or args.causal_trace):
         from repro.obs.events import EventLog
         log = EventLog()
     flight = None
     if args.flight_record:
         from repro.obs.flight import FlightRecorder
         flight = FlightRecorder(log)
-    trace = TraceRecorder(sink=log, flight=flight)
+    causal = None
+    if args.causal_trace:
+        from repro.obs.flight import CausalRecorder
+        causal = CausalRecorder(log)
+    trace = TraceRecorder(sink=log, flight=flight, causal=causal)
     profiler = None
     if args.profile:
         from repro.obs.profile import LoopProfiler

@@ -128,3 +128,21 @@ def test_perf_smoke_appends_history_and_bench_history_renders(
     text = capsys.readouterr().out
     assert "2 recorded run(s)" in text
     assert "committed baseline" in text
+
+
+def test_bench_history_prune_compacts_the_store(tmp_path, capsys,
+                                                monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    out = tmp_path / "BENCH.json"
+    history = tmp_path / "history.jsonl"
+    argv = ["perf-smoke", "--out", str(out), "--receivers", "2",
+            "--image-kib", "2", "--warmup", "0",
+            "--history", str(history)]
+    for _ in range(3):
+        assert main(argv) == 0
+    capsys.readouterr()
+
+    assert main(["bench-history", str(history), "--prune", "2"]) == 0
+    text = capsys.readouterr().out
+    assert "3 -> 2 record(s)" in text
+    assert "2 recorded run(s)" in text  # report renders the pruned store

@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.obs.events import (
+    SUPPORTED_SCHEMA_VERSIONS,
     TRACE_SCHEMA_VERSION,
     EventLog,
     TraceEvent,
@@ -116,6 +117,44 @@ def test_load_jsonl_rejects_bad_headers(tmp_path):
     }) + "\n")
     with pytest.raises(ValueError, match="unsupported trace schema"):
         load_jsonl(future)
+
+
+def test_schema_v1_traces_remain_readable(tmp_path):
+    # Schema v2 added the causal_* event kinds without changing the event
+    # record shape, so v1 traces written before the bump must still load,
+    # analyze, and pass the invariant checker.
+    assert TRACE_SCHEMA_VERSION == 2
+    assert SUPPORTED_SCHEMA_VERSIONS == frozenset({1, 2})
+    path = tmp_path / "legacy.trace.jsonl"
+    lines = [json.dumps({
+        "type": "header", "schema_version": 1, "events": 3, "dropped": 0,
+    })]
+    for record in (
+        {"ts": 0.5, "kind": "tx_data", "ph": "i", "node": 0,
+         "detail": {"unit": 0}},
+        {"ts": 0.9, "kind": "unit_complete", "ph": "i", "node": 1,
+         "detail": {"unit": 0}},
+        {"ts": 0.9, "kind": "node_complete", "ph": "i", "node": 1,
+         "detail": {"total": 1}},
+    ):
+        lines.append(json.dumps(record))
+    path.write_text("\n".join(lines) + "\n")
+
+    header, events = load_jsonl(path)
+    assert header["schema_version"] == 1
+    assert [e.kind for e in events] == [
+        "tx_data", "unit_complete", "node_complete",
+    ]
+
+    from repro.obs.analyze import analyze_jsonl
+    analysis = analyze_jsonl(path)
+    assert analysis["type"] == "flight_analysis"
+    assert analysis["completed"] == 1
+
+    from repro.obs.invariants import check_jsonl
+    report = check_jsonl(path)
+    assert report.ok
+    assert report.events_seen == 3
 
 
 def test_trace_event_dict_round_trip():

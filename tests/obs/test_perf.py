@@ -2,6 +2,8 @@
 
 import json
 
+import pytest
+
 from repro.obs.perf import (
     append_history,
     bench_history_report,
@@ -11,6 +13,7 @@ from repro.obs.perf import (
     handler_mean_deltas,
     history_record,
     load_history,
+    prune_history,
 )
 
 
@@ -158,6 +161,34 @@ def test_bench_history_report_baseline_ignored_for_other_configs():
 # ---------------------------------------------------------------------------
 # Flamegraph / counter-track export
 # ---------------------------------------------------------------------------
+
+def test_prune_history_keeps_last_n_per_config(tmp_path):
+    path = tmp_path / "history.jsonl"
+    for rev in ("aaa", "bbb", "ccc"):
+        append_history(path, bench(rev=rev))
+    for rev in ("ddd", "eee"):
+        append_history(path, bench(rev=rev, receivers=16))
+
+    before, after = prune_history(path, keep_per_config=2)
+    assert (before, after) == (5, 4)
+    records = load_history(path)
+    # Last two of each config survive, original file order preserved.
+    assert [r["git_rev"] for r in records] == ["bbb", "ccc", "ddd", "eee"]
+
+    # Already within budget: the file is left untouched.
+    assert prune_history(path, keep_per_config=2) == (4, 4)
+
+
+def test_prune_history_edge_cases(tmp_path):
+    path = tmp_path / "history.jsonl"
+    assert prune_history(path, keep_per_config=3) == (0, 0)  # missing file
+    with pytest.raises(ValueError, match="keep_per_config"):
+        prune_history(path, keep_per_config=0)
+    append_history(path, bench(rev="aaa"))
+    append_history(path, bench(rev="bbb"))
+    assert prune_history(path, keep_per_config=1) == (2, 1)
+    assert [r["git_rev"] for r in load_history(path)] == ["bbb"]
+
 
 def test_collapsed_stacks_prefers_kind_buckets():
     profile = {
